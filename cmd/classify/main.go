@@ -1,0 +1,254 @@
+// Command classify runs the passive spoofing detector over a scenario
+// directory produced by cmd/ixpgen (or over real MRT + IPFIX data laid out
+// the same way) and prints the per-class summary plus, optionally, a JSON
+// report with per-member statistics.
+//
+// Usage:
+//
+//	classify -data ixp-data/ [-json report.json] [-no-orgs]
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+	"spoofscope/internal/org"
+	"spoofscope/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("classify: ")
+	var (
+		dataDir  = flag.String("data", "ixp-data", "scenario directory from ixpgen")
+		jsonOut  = flag.String("json", "", "optional JSON report path")
+		noOrgs   = flag.Bool("no-orgs", false, "disable multi-AS organisation merging (ablation)")
+		noRouter = flag.Bool("no-routers", false, "skip stray-router tagging")
+		aclFor   = flag.Uint("acl", 0, "print the FULL-cone ingress ACL for this member ASN and exit")
+		aggTO    = flag.Duration("aggregate", 0, "merge sampled packets into flow records with this idle timeout before classification (0 = off)")
+	)
+	flag.Parse()
+
+	// Routing data.
+	mrt, err := os.Open(filepath.Join(*dataDir, "routing.mrt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rib := bgp.NewRIB()
+	if err := rib.LoadMRT(mrt); err != nil {
+		log.Fatal(err)
+	}
+	mrt.Close()
+	log.Printf("RIB: %d prefixes, %d announcements", rib.NumPrefixes(), len(rib.Announcements()))
+
+	// Members.
+	members, err := readMembers(filepath.Join(*dataDir, "members.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("members: %d", len(members))
+
+	// Organisations.
+	var orgGroups [][]bgp.ASN
+	if f, err := os.Open(filepath.Join(*dataDir, "orgs.json")); err == nil {
+		ds, err := org.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		orgGroups = ds.MultiASGroups()
+		log.Printf("organisations: %d (%d multi-AS)", ds.Len(), len(orgGroups))
+	}
+
+	// Router addresses.
+	var routers core.RouterSet
+	if !*noRouter {
+		if set, err := readRouters(filepath.Join(*dataDir, "routers.txt")); err == nil {
+			routers = set
+			log.Printf("router addresses: %d", len(set))
+		}
+	}
+
+	pipeline, err := core.NewPipeline(rib, members, core.Options{
+		Orgs:            orgGroups,
+		Routers:         routers,
+		DisableOrgMerge: *noOrgs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *aclFor != 0 {
+		acl, err := pipeline.FilterList(bgp.ASN(*aclFor), core.ApproachFull)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# ingress whitelist for AS%d (full cone), %d prefixes\n", *aclFor, len(acl))
+		for _, p := range acl {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	// Classify the flow file in a streaming pass.
+	flows, err := os.Open(filepath.Join(*dataDir, "flows.ipfix"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer flows.Close()
+	agg := core.NewAggregator(time.Unix(0, 0).UTC(), 1<<62) // single bucket
+	fr := ipfix.NewFileReader(flows)
+	n := 0
+	sink := func(f ipfix.Flow) {
+		agg.Add(f, pipeline.Classify(f))
+		n++
+	}
+	if *aggTO > 0 {
+		// Run the metering process first: merge sampled packets of the
+		// same flow (idle-timeout based) before classification.
+		cache := ipfix.NewFlowCache(*aggTO, 0, sink)
+		if err := fr.ForEach(func(f ipfix.Flow) bool {
+			cache.Add(f)
+			return true
+		}); err != nil {
+			log.Fatal(err)
+		}
+		cache.Flush()
+		log.Printf("flow cache: %d merges, %d overflow evictions", cache.Merged, cache.Overflowed)
+	} else if err := fr.ForEach(func(f ipfix.Flow) bool {
+		sink(f)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range members {
+		agg.SetMemberASN(m.Port, m.ASN)
+	}
+	log.Printf("classified %d flows", n)
+
+	printSummary(agg, len(members))
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, agg); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
+}
+
+func readMembers(path string) ([]core.MemberInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []core.MemberInfo
+	for i, row := range rows {
+		if i == 0 || len(row) < 2 {
+			continue // header
+		}
+		port, err := strconv.ParseUint(row[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("members.csv row %d: %w", i, err)
+		}
+		asn, err := strconv.ParseUint(row[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("members.csv row %d: %w", i, err)
+		}
+		out = append(out, core.MemberInfo{ASN: bgp.ASN(asn), Port: uint32(port)})
+	}
+	return out, nil
+}
+
+type routerSet map[netx.Addr]struct{}
+
+func (s routerSet) Contains(a netx.Addr) bool { _, ok := s[a]; return ok }
+
+func readRouters(path string) (routerSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := make(routerSet)
+	var line string
+	for {
+		if _, err := fmt.Fscanln(f, &line); err != nil {
+			if err == io.EOF {
+				return set, nil
+			}
+			return nil, err
+		}
+		a, err := netx.ParseAddr(line)
+		if err != nil {
+			return nil, err
+		}
+		set[a] = struct{}{}
+	}
+}
+
+func printSummary(agg *core.Aggregator, totalMembers int) {
+	t := &stats.Table{Header: []string{"class", "members", "flows", "packets", "bytes", "pkt share"}}
+	for _, c := range []core.TrafficClass{
+		core.TCBogon, core.TCUnrouted,
+		core.TCInvalidFull, core.TCInvalidNaive, core.TCInvalidCC, core.TCRegular,
+	} {
+		cnt := agg.Total[c]
+		t.AddRow(c.String(), agg.ContributingMembers(c),
+			int(cnt.Flows), int(cnt.Packets), int(cnt.Bytes),
+			stats.Percent(float64(cnt.Packets)/float64(agg.GrandTotal.Packets)))
+	}
+	fmt.Println(t.Render())
+	fmt.Printf("members total: %d; unknown ingress flows: %d\n", totalMembers, agg.UnknownPorts)
+}
+
+// memberReport is the JSON shape of one member's statistics.
+type memberReport struct {
+	Port     uint32 `json:"port"`
+	ASN      uint32 `json:"asn"`
+	Packets  uint64 `json:"packets"`
+	Bogon    uint64 `json:"bogonPackets"`
+	Unrouted uint64 `json:"unroutedPackets"`
+	Invalid  uint64 `json:"invalidFullPackets"`
+	RouterIP uint64 `json:"routerIPInvalidPackets"`
+}
+
+func writeJSON(path string, agg *core.Aggregator) error {
+	var reports []memberReport
+	for _, m := range agg.Members() {
+		reports = append(reports, memberReport{
+			Port:     m.Port,
+			ASN:      uint32(m.ASN),
+			Packets:  m.Total.Packets,
+			Bogon:    m.ByClass[core.TCBogon].Packets,
+			Unrouted: m.ByClass[core.TCUnrouted].Packets,
+			Invalid:  m.ByClass[core.TCInvalidFull].Packets,
+			RouterIP: m.RouterIPInvalid,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

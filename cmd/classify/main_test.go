@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spoofscope/internal/netx"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadMembers(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "members.csv",
+		"port,asn,type\n1,65001,NSP\n2,65002,ISP\n")
+	members, err := readMembers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("members = %d", len(members))
+	}
+	if members[0].Port != 1 || members[0].ASN != 65001 {
+		t.Fatalf("member[0] = %+v", members[0])
+	}
+}
+
+func TestReadMembersRejectsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "members.csv", "port,asn,type\nnot-a-port,65001,NSP\n")
+	if _, err := readMembers(path); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	path = writeFile(t, dir, "members2.csv", "port,asn,type\n1,not-an-asn,NSP\n")
+	if _, err := readMembers(path); err == nil {
+		t.Fatal("bad ASN accepted")
+	}
+	if _, err := readMembers(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadRouters(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "routers.txt", "192.0.2.1\n198.51.100.254\n")
+	set, err := readRouters(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("routers = %d", len(set))
+	}
+	if !set.Contains(netx.MustParseAddr("192.0.2.1")) {
+		t.Fatal("router missing")
+	}
+	if set.Contains(netx.MustParseAddr("10.0.0.1")) {
+		t.Fatal("phantom router")
+	}
+}
+
+func TestReadRoutersRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "routers.txt", "not-an-ip\n")
+	if _, err := readRouters(path); err == nil {
+		t.Fatal("garbage router accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Command ixpgen synthesizes a complete measurement scenario to disk:
+// MRT routing data, IPFIX traffic, the member table, the AS-to-organisation
+// dataset, the WHOIS registry, the traceroute-derived router list, and the
+// ground-truth labels — everything cmd/classify needs, in the formats the
+// real pipeline would consume.
+//
+// Usage:
+//
+//	ixpgen -out data/ [-scale small|default|paper] [-seed N]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"spoofscope/internal/experiments"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/scenario"
+	"spoofscope/internal/whois"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ixpgen: ")
+	var (
+		out   = flag.String("out", "ixp-data", "output directory")
+		scale = flag.String("scale", "default", "scenario scale: small, default, or paper")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	switch *scale {
+	case "small":
+		opts = experiments.SmallOptions()
+	case "default":
+	case "paper":
+		opts.Scenario = scenario.PaperScaleConfig()
+	default:
+		log.Fatalf("unknown scale %q (want small, default, or paper)", *scale)
+	}
+	opts.Scenario.Seed = *seed
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("building %s scenario (seed %d)...", *scale, *seed)
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s", env.Scenario.String())
+
+	write := func(name string, fn func(f io.Writer) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		log.Printf("wrote %s (%d bytes)", path, st.Size())
+	}
+
+	write("routing.mrt", env.Scenario.WriteMRT)
+
+	write("flows.ipfix", func(f io.Writer) error {
+		fw := ipfix.NewFileWriter(f, 1)
+		start, _ := env.Scenario.Window()
+		if err := fw.Write(start, env.Flows); err != nil {
+			return err
+		}
+		return fw.Flush()
+	})
+
+	write("members.csv", func(f io.Writer) error {
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"port", "asn", "type"}); err != nil {
+			return err
+		}
+		for _, m := range env.Scenario.Members {
+			if err := w.Write([]string{
+				strconv.FormatUint(uint64(m.Port), 10),
+				strconv.FormatUint(uint64(m.ASN), 10),
+				m.Type.String(),
+			}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	})
+
+	write("orgs.json", env.Scenario.Orgs().Save)
+
+	write("whois.txt", func(f io.Writer) error {
+		return whois.FromScenario(env.Scenario).Save(f)
+	})
+
+	write("routers.txt", func(f io.Writer) error {
+		for _, a := range env.Routers.Addrs() {
+			if _, err := fmt.Fprintln(f, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	write("labels.txt", func(f io.Writer) error {
+		// Ground truth, one label per flow, for evaluation only.
+		for _, l := range env.Labels {
+			if _, err := fmt.Fprintln(f, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	spoofed := 0
+	for _, l := range env.Labels {
+		if l.Spoofed() {
+			spoofed++
+		}
+	}
+	log.Printf("done: %d flows (%d ground-truth spoofed), %d members, %d announcements",
+		len(env.Flows), spoofed, len(env.Scenario.Members), len(env.Scenario.Anns))
+}

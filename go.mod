@@ -1,0 +1,3 @@
+module spoofscope
+
+go 1.22

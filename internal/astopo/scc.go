@@ -1,0 +1,108 @@
+package astopo
+
+// tarjanSCC computes strongly connected components of a directed graph
+// given as adjacency lists. It returns comp (node -> component id) and the
+// number of components. Component ids are assigned in the order Tarjan
+// completes them, which is a reverse topological order of the condensation:
+// every edge of the condensed DAG goes from a higher component id to a
+// lower one.
+//
+// The implementation is iterative; AS graphs contain provider chains long
+// enough to overflow the goroutine stack with a recursive version.
+func tarjanSCC(adj [][]int32) (comp []int, n int) {
+	nNodes := len(adj)
+	const unvisited = -1
+	index := make([]int32, nNodes)
+	low := make([]int32, nNodes)
+	onStack := make([]bool, nNodes)
+	comp = make([]int, nNodes)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var next int32 = 0
+
+	// Explicit DFS frames: node plus position in its adjacency list.
+	type frame struct {
+		node int32
+		ei   int
+	}
+	var frames []frame
+
+	for start := 0; start < nNodes; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{node: int32(start)})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.node
+			if f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && low[v] > index[w] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = n
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, n
+}
+
+// condense builds the condensed DAG adjacency (by component id, deduped)
+// from the node-level adjacency and the component assignment.
+func condense(adj [][]int32, comp []int, n int) [][]int32 {
+	out := make([][]int32, n)
+	seen := make(map[[2]int32]struct{})
+	for u := range adj {
+		cu := int32(comp[u])
+		for _, v := range adj[u] {
+			cv := int32(comp[v])
+			if cu == cv {
+				continue
+			}
+			k := [2]int32{cu, cv}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out[cu] = append(out[cu], cv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"spoofscope/internal/netx"
+)
+
+// The wire decoders must reject — never panic on — arbitrary input. These
+// tests mutate valid messages and feed pure noise; any panic fails the
+// test via the runtime.
+
+func TestUnmarshalUpdateNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	u := sampleUpdate()
+	valid, _ := u.Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), valid...)
+		// Mutate 1-4 random bytes.
+		for k := rng.Intn(4) + 1; k > 0; k-- {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		UnmarshalUpdate(b) //nolint:errcheck — only panics matter here
+	}
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(100))
+		rng.Read(b)
+		UnmarshalUpdate(b) //nolint:errcheck
+	}
+}
+
+func TestMRTReaderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteUpdate(testTime, 1, 2, 3, 4, sampleUpdate())
+	w.WriteRIB(testTime, &RIBRecord{
+		Prefix:  samplePrefix(),
+		Entries: []RIBEntry{{Attrs: sampleUpdate().Attrs, OriginatedTime: testTime}},
+	})
+	w.Flush()
+	valid := buf.Bytes()
+
+	for i := 0; i < 3000; i++ {
+		b := append([]byte(nil), valid...)
+		for k := rng.Intn(6) + 1; k > 0; k-- {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		// Bound body lengths: a flipped length field may demand gigabytes,
+		// which ReadFull from a bounded reader just refuses.
+		r := NewReader(io.LimitReader(bytes.NewReader(b), int64(len(b))))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		r := NewReader(bytes.NewReader(b))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func samplePrefix() netx.Prefix {
+	return sampleUpdate().NLRI[0]
+}

@@ -1,0 +1,177 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"spoofscope/internal/netx"
+)
+
+var testTime = time.Unix(1486252800, 0).UTC() // 2017-02-05, start of the paper's window
+
+func TestMRTPeerIndexTableRoundTrip(t *testing.T) {
+	tbl := &PeerIndexTable{
+		CollectorID: netx.MustParseAddr("192.0.2.10"),
+		ViewName:    "rrc00",
+		Peers: []Peer{
+			{BGPID: netx.MustParseAddr("10.0.0.1"), Addr: netx.MustParseAddr("203.0.113.1"), AS: 65001},
+			{BGPID: netx.MustParseAddr("10.0.0.2"), Addr: netx.MustParseAddr("203.0.113.2"), AS: 4200000000},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(testTime, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PeerIndex == nil {
+		t.Fatal("expected PEER_INDEX_TABLE")
+	}
+	if !rec.Timestamp.Equal(testTime) {
+		t.Errorf("timestamp = %v", rec.Timestamp)
+	}
+	if !reflect.DeepEqual(tbl, rec.PeerIndex) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", tbl, rec.PeerIndex)
+	}
+}
+
+func TestMRTRIBRoundTrip(t *testing.T) {
+	rib := &RIBRecord{
+		Sequence: 42,
+		Prefix:   netx.MustParsePrefix("203.0.113.0/24"),
+		Entries: []RIBEntry{
+			{
+				PeerIndex:      1,
+				OriginatedTime: testTime,
+				Attrs: Attributes{
+					Origin:  OriginIGP,
+					ASPath:  []PathSegment{{Type: SegmentSequence, ASNs: []ASN{65001, 65002}}},
+					NextHop: netx.MustParseAddr("203.0.113.1"),
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRIB(testTime, rib); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RIB == nil {
+		t.Fatal("expected RIB record")
+	}
+	if !reflect.DeepEqual(rib, rec.RIB) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", rib, rec.RIB)
+	}
+}
+
+func TestMRTBGP4MPRoundTrip(t *testing.T) {
+	u := sampleUpdate()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteUpdate(testTime, 65001, 65000,
+		netx.MustParseAddr("203.0.113.1"), netx.MustParseAddr("203.0.113.254"), u); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BGP4MP == nil {
+		t.Fatal("expected BGP4MP record")
+	}
+	if rec.BGP4MP.PeerAS != 65001 || rec.BGP4MP.LocalAS != 65000 {
+		t.Fatalf("session metadata: %+v", rec.BGP4MP)
+	}
+	got, err := UnmarshalUpdate(rec.BGP4MP.Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u, got) {
+		t.Fatal("BGP4MP payload round trip failed")
+	}
+}
+
+func TestMRTStreamMixedRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	n := 100
+	for i := 0; i < n; i++ {
+		u := randUpdate(rng)
+		if err := w.WriteUpdate(testTime.Add(time.Duration(i)*time.Second),
+			ASN(rng.Uint32()), 65000, 1, 2, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.BGP4MP == nil {
+			t.Fatal("unexpected record type")
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("read %d records, wrote %d", count, n)
+	}
+}
+
+func TestMRTReaderSkipsUnknownTypes(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft an unknown record (type 99), then a real one.
+	hdr := make([]byte, 12)
+	hdr[5] = 99 // type
+	hdr[11] = 2 // length 2
+	buf.Write(hdr)
+	buf.Write([]byte{0xde, 0xad})
+	w := NewWriter(&buf)
+	w.WriteUpdate(testTime, 1, 2, 3, 4, sampleUpdate())
+	w.Flush()
+
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BGP4MP == nil {
+		t.Fatal("unknown record not skipped")
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestMRTTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteUpdate(testTime, 1, 2, 3, 4, sampleUpdate())
+	w.Flush()
+	b := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(b[:len(b)-5])).Next(); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package bgp
+
+import (
+	"bytes"
+	"testing"
+
+	"spoofscope/internal/netx"
+)
+
+func TestRIBLengthFilter(t *testing.T) {
+	r := NewRIB()
+	r.AddAnnouncement(netx.MustParsePrefix("10.0.0.0/7"), []ASN{1})   // too short
+	r.AddAnnouncement(netx.MustParsePrefix("10.0.0.0/25"), []ASN{1})  // too long
+	r.AddAnnouncement(netx.MustParsePrefix("10.0.0.0/8"), []ASN{1})   // ok
+	r.AddAnnouncement(netx.MustParsePrefix("192.0.2.0/24"), []ASN{2}) // ok
+	if r.NumPrefixes() != 2 {
+		t.Fatalf("NumPrefixes = %d", r.NumPrefixes())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", r.Dropped())
+	}
+}
+
+func TestRIBDedup(t *testing.T) {
+	r := NewRIB()
+	p := netx.MustParsePrefix("203.0.113.0/24")
+	r.AddAnnouncement(p, []ASN{1, 2, 3})
+	r.AddAnnouncement(p, []ASN{1, 2, 3}) // dup
+	r.AddAnnouncement(p, []ASN{1, 4, 3}) // new path
+	if got := len(r.Announcements()); got != 2 {
+		t.Fatalf("Announcements = %d", got)
+	}
+	if r.NumPrefixes() != 1 {
+		t.Fatalf("NumPrefixes = %d", r.NumPrefixes())
+	}
+}
+
+func TestRIBApplyUpdateCollapsesPrepend(t *testing.T) {
+	r := NewRIB()
+	u := &Update{
+		Attrs: Attributes{ASPath: []PathSegment{
+			{Type: SegmentSequence, ASNs: []ASN{5, 5, 5, 6, 7}},
+		}},
+		NLRI: []netx.Prefix{netx.MustParsePrefix("198.51.100.0/24")},
+	}
+	r.ApplyUpdate(u)
+	anns := r.Announcements()
+	if len(anns) != 1 {
+		t.Fatalf("anns = %d", len(anns))
+	}
+	if len(anns[0].Path) != 3 || anns[0].Path[0] != 5 || anns[0].Origin != 7 {
+		t.Fatalf("path = %v origin = %v", anns[0].Path, anns[0].Origin)
+	}
+}
+
+func TestRIBOriginTableMOAS(t *testing.T) {
+	r := NewRIB()
+	p := netx.MustParsePrefix("203.0.113.0/24")
+	// Origin 9 seen on two distinct paths, origin 8 on one: 9 wins.
+	r.AddAnnouncement(p, []ASN{1, 9})
+	r.AddAnnouncement(p, []ASN{2, 9})
+	r.AddAnnouncement(p, []ASN{3, 8})
+	lpm := r.OriginTable()
+	v, ok := lpm.Lookup(netx.MustParseAddr("203.0.113.7"))
+	if !ok || ASN(v) != 9 {
+		t.Fatalf("origin = %d %v", v, ok)
+	}
+}
+
+func TestRIBOriginTableMostSpecificWins(t *testing.T) {
+	r := NewRIB()
+	r.AddAnnouncement(netx.MustParsePrefix("10.0.0.0/8"), []ASN{1, 100})
+	r.AddAnnouncement(netx.MustParsePrefix("10.1.0.0/16"), []ASN{1, 200})
+	lpm := r.OriginTable()
+	if v, _ := lpm.Lookup(netx.MustParseAddr("10.1.2.3")); ASN(v) != 200 {
+		t.Fatalf("more specific origin = %d", v)
+	}
+	if v, _ := lpm.Lookup(netx.MustParseAddr("10.2.0.1")); ASN(v) != 100 {
+		t.Fatalf("covering origin = %d", v)
+	}
+}
+
+func TestRIBRoutedSpace(t *testing.T) {
+	r := NewRIB()
+	r.AddAnnouncement(netx.MustParsePrefix("10.0.0.0/8"), []ASN{1})
+	r.AddAnnouncement(netx.MustParsePrefix("10.1.0.0/16"), []ASN{2}) // nested
+	r.AddAnnouncement(netx.MustParsePrefix("192.0.2.0/24"), []ASN{3})
+	space := r.RoutedSpace()
+	if space.NumAddrs() != 1<<24+256 {
+		t.Fatalf("routed space = %d addrs", space.NumAddrs())
+	}
+	if !space.Contains(netx.MustParseAddr("10.200.0.1")) {
+		t.Fatal("routed space missing covered address")
+	}
+	if space.Contains(netx.MustParseAddr("192.0.3.1")) {
+		t.Fatal("routed space covers unannounced address")
+	}
+}
+
+func TestRIBLoadMRTEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// A table dump record plus an update stream record.
+	w.WriteRIB(testTime, &RIBRecord{
+		Prefix: netx.MustParsePrefix("203.0.113.0/24"),
+		Entries: []RIBEntry{{
+			PeerIndex:      0,
+			OriginatedTime: testTime,
+			Attrs: Attributes{
+				ASPath:  []PathSegment{{Type: SegmentSequence, ASNs: []ASN{10, 20}}},
+				NextHop: 1,
+			},
+		}},
+	})
+	w.WriteUpdate(testTime, 30, 65000, 1, 2, &Update{
+		Attrs: Attributes{
+			ASPath:  []PathSegment{{Type: SegmentSequence, ASNs: []ASN{30, 40}}},
+			NextHop: 2,
+		},
+		NLRI: []netx.Prefix{netx.MustParsePrefix("198.51.100.0/24")},
+	})
+	w.Flush()
+
+	r := NewRIB()
+	if err := r.LoadMRT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPrefixes() != 2 {
+		t.Fatalf("NumPrefixes = %d", r.NumPrefixes())
+	}
+	lpm := r.OriginTable()
+	if v, _ := lpm.Lookup(netx.MustParseAddr("203.0.113.1")); ASN(v) != 20 {
+		t.Fatalf("dump origin = %d", v)
+	}
+	if v, _ := lpm.Lookup(netx.MustParseAddr("198.51.100.1")); ASN(v) != 40 {
+		t.Fatalf("update origin = %d", v)
+	}
+}
+
+func TestRIBWithdrawalsCountedNotErased(t *testing.T) {
+	r := NewRIB()
+	p := netx.MustParsePrefix("203.0.113.0/24")
+	r.ApplyUpdate(&Update{
+		Attrs: Attributes{ASPath: []PathSegment{{Type: SegmentSequence, ASNs: []ASN{1, 2}}}},
+		NLRI:  []netx.Prefix{p},
+	})
+	r.ApplyUpdate(&Update{Withdrawn: []netx.Prefix{p}})
+	if r.Withdrawn() != 1 {
+		t.Fatalf("Withdrawn = %d", r.Withdrawn())
+	}
+	// The paper's window semantics: the prefix stays routed.
+	if r.NumPrefixes() != 1 {
+		t.Fatalf("withdrawal erased window history: %d prefixes", r.NumPrefixes())
+	}
+	if !r.RoutedSpace().Contains(netx.MustParseAddr("203.0.113.9")) {
+		t.Fatal("routed space lost the withdrawn prefix")
+	}
+}

@@ -1,0 +1,290 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"spoofscope/internal/netx"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	msgTypeOpen         = 1
+	msgTypeNotification = 3
+	msgTypeKeepalive    = 4
+)
+
+// asTrans is the 2-byte AS placeholder for 4-byte AS numbers (RFC 6793).
+const asTrans = 23456
+
+// SessionConfig parameterizes a BGP speaker.
+type SessionConfig struct {
+	LocalAS ASN
+	LocalID netx.Addr
+	// HoldTime defaults to 90s; keepalives are sent every HoldTime/3.
+	HoldTime time.Duration
+}
+
+func (c *SessionConfig) holdTime() time.Duration {
+	if c.HoldTime <= 0 {
+		return 90 * time.Second
+	}
+	return c.HoldTime
+}
+
+// Session is an established BGP-4 session over a reliable transport. Both
+// sides run the same code (the protocol is symmetric after TCP setup).
+// Send and Recv are safe to use from different goroutines, but each is not
+// itself concurrency-safe.
+type Session struct {
+	conn   net.Conn
+	cfg    SessionConfig
+	peerAS ASN
+	peerID netx.Addr
+
+	writeMu   sync.Mutex
+	closeOnce sync.Once
+	closed    chan struct{}
+	keepDone  chan struct{}
+}
+
+// NewSession performs the OPEN/KEEPALIVE handshake on conn and starts the
+// keepalive timer. The caller keeps ownership of conn only for address
+// introspection; Close closes it.
+func NewSession(conn net.Conn, cfg SessionConfig) (*Session, error) {
+	s := &Session{
+		conn:     conn,
+		cfg:      cfg,
+		closed:   make(chan struct{}),
+		keepDone: make(chan struct{}),
+	}
+	if err := s.writeMessage(msgTypeOpen, s.openBody()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: sending OPEN: %w", err)
+	}
+	// Expect the peer's OPEN.
+	typ, body, err := readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: awaiting OPEN: %w", err)
+	}
+	if typ != msgTypeOpen {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: expected OPEN, got type %d", typ)
+	}
+	if err := s.parseOpen(body); err != nil {
+		s.notify(2, 0) // OPEN message error
+		conn.Close()
+		return nil, err
+	}
+	// Confirm with a KEEPALIVE and await the peer's.
+	if err := s.writeMessage(msgTypeKeepalive, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, _, err = readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: awaiting KEEPALIVE: %w", err)
+	}
+	if typ != msgTypeKeepalive {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got type %d", typ)
+	}
+	go s.keepaliveLoop()
+	return s, nil
+}
+
+// Dial connects to a BGP speaker and establishes a session.
+func Dial(addr string, cfg SessionConfig) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(conn, cfg)
+}
+
+// PeerAS returns the negotiated peer AS number.
+func (s *Session) PeerAS() ASN { return s.peerAS }
+
+// PeerID returns the peer's BGP identifier.
+func (s *Session) PeerID() netx.Addr { return s.peerID }
+
+// openBody builds our OPEN message body with the 4-octet-AS capability.
+func (s *Session) openBody() []byte {
+	b := make([]byte, 0, 20)
+	b = append(b, 4) // version
+	as2 := uint16(asTrans)
+	if s.cfg.LocalAS <= 0xffff {
+		as2 = uint16(s.cfg.LocalAS)
+	}
+	b = binary.BigEndian.AppendUint16(b, as2)
+	b = binary.BigEndian.AppendUint16(b, uint16(s.cfg.holdTime()/time.Second))
+	b = binary.BigEndian.AppendUint32(b, uint32(s.cfg.LocalID))
+	// Optional parameter: capabilities (type 2) with 4-octet AS (code 65).
+	cap4 := make([]byte, 0, 8)
+	cap4 = append(cap4, 65, 4)
+	cap4 = binary.BigEndian.AppendUint32(cap4, uint32(s.cfg.LocalAS))
+	b = append(b, byte(2+len(cap4))) // opt params length
+	b = append(b, 2, byte(len(cap4)))
+	b = append(b, cap4...)
+	return b
+}
+
+func (s *Session) parseOpen(b []byte) error {
+	if len(b) < 10 {
+		return errors.New("bgp: truncated OPEN")
+	}
+	if b[0] != 4 {
+		return fmt.Errorf("bgp: unsupported BGP version %d", b[0])
+	}
+	s.peerAS = ASN(binary.BigEndian.Uint16(b[1:3]))
+	s.peerID = netx.Addr(binary.BigEndian.Uint32(b[5:9]))
+	optLen := int(b[9])
+	if len(b) < 10+optLen {
+		return errors.New("bgp: truncated OPEN optional parameters")
+	}
+	params := b[10 : 10+optLen]
+	for len(params) >= 2 {
+		ptype, plen := params[0], int(params[1])
+		if len(params) < 2+plen {
+			return errors.New("bgp: truncated OPEN parameter")
+		}
+		if ptype == 2 { // capabilities
+			caps := params[2 : 2+plen]
+			for len(caps) >= 2 {
+				code, clen := caps[0], int(caps[1])
+				if len(caps) < 2+clen {
+					return errors.New("bgp: truncated capability")
+				}
+				if code == 65 && clen == 4 {
+					s.peerAS = ASN(binary.BigEndian.Uint32(caps[2:6]))
+				}
+				caps = caps[2+clen:]
+			}
+		}
+		params = params[2+plen:]
+	}
+	return nil
+}
+
+func (s *Session) keepaliveLoop() {
+	defer close(s.keepDone)
+	t := time.NewTicker(s.cfg.holdTime() / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if err := s.writeMessage(msgTypeKeepalive, nil); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Send transmits an UPDATE.
+func (s *Session) Send(u *Update) error {
+	msg, err := u.Marshal()
+	if err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err = s.conn.Write(msg)
+	return err
+}
+
+// Recv blocks for the next UPDATE, transparently absorbing keepalives.
+// It returns io.EOF when the peer closes the session or sends a CEASE
+// notification.
+func (s *Session) Recv() (*Update, error) {
+	for {
+		typ, body, err := readMessage(s.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case msgTypeKeepalive:
+			continue
+		case msgTypeUpdate:
+			// Re-frame the body into a full message for UnmarshalUpdate.
+			msg := frameMessage(msgTypeUpdate, body)
+			return UnmarshalUpdate(msg)
+		case msgTypeNotification:
+			if len(body) >= 1 && body[0] == 6 { // CEASE
+				return nil, io.EOF
+			}
+			code := byte(0)
+			if len(body) > 0 {
+				code = body[0]
+			}
+			return nil, fmt.Errorf("bgp: peer NOTIFICATION code %d", code)
+		default:
+			return nil, fmt.Errorf("bgp: unexpected message type %d", typ)
+		}
+	}
+}
+
+// Close sends a CEASE notification (best effort) and closes the transport.
+func (s *Session) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.notify(6, 0) // CEASE
+		err = s.conn.Close()
+		<-s.keepDone
+	})
+	return err
+}
+
+func (s *Session) notify(code, sub byte) {
+	_ = s.writeMessage(msgTypeNotification, []byte{code, sub})
+}
+
+func (s *Session) writeMessage(typ byte, body []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err := s.conn.Write(frameMessage(typ, body))
+	return err
+}
+
+// frameMessage wraps a body in the BGP message header.
+func frameMessage(typ byte, body []byte) []byte {
+	msg := make([]byte, headerLen+len(body))
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(msg[16:], uint16(headerLen+len(body)))
+	msg[18] = typ
+	copy(msg[headerLen:], body)
+	return msg
+}
+
+// readMessage reads one framed BGP message from r, validating the marker.
+func readMessage(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xff {
+			return 0, nil, errors.New("bgp: bad message marker")
+		}
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if total < headerLen || total > maxMsgLen {
+		return 0, nil, fmt.Errorf("bgp: bad message length %d", total)
+	}
+	body = make([]byte, total-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[18], body, nil
+}

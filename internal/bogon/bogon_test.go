@@ -1,0 +1,101 @@
+package bogon
+
+import (
+	"testing"
+
+	"spoofscope/internal/netx"
+)
+
+func TestReferenceShape(t *testing.T) {
+	entries := Reference()
+	if len(entries) != 14 {
+		t.Fatalf("reference list has %d prefixes, want 14", len(entries))
+	}
+	for i, e := range entries {
+		if !e.Prefix.IsValid() {
+			t.Errorf("entry %d invalid: %v", i, e.Prefix)
+		}
+		for j := i + 1; j < len(entries); j++ {
+			if e.Prefix.Overlaps(entries[j].Prefix) {
+				t.Errorf("entries overlap: %v %v", e.Prefix, entries[j].Prefix)
+			}
+		}
+	}
+}
+
+func TestReferenceSlash24Equivalents(t *testing.T) {
+	s := NewReferenceSet()
+	// The paper's §3.3 quotes "218K /24 equivalents", which is inconsistent
+	// with its own Figure 1a (bogon = 13.8% of IPv4 space ≈ 2.3M /24s; 218K
+	// is the list size *excluding* multicast and class E). Figure 10 shows
+	// multicast/future-use sources classified as Bogon, so the full list is
+	// authoritative: 14 prefixes covering 13.8% of the address space.
+	got := s.Slash24Equivalents()
+	if got != 2_315_269 && got != 2_315_268 {
+		t.Fatalf("bogon space = %d /24s, want ~2.315M (13.8%% of IPv4)", got)
+	}
+	frac := float64(s.Space().NumAddrs()) / float64(1<<32)
+	if frac < 0.137 || frac > 0.139 {
+		t.Fatalf("bogon fraction = %.4f, want ~0.138", frac)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := NewReferenceSet()
+	in := []string{
+		"10.1.2.3", "172.16.0.1", "172.31.255.255", "192.168.100.1",
+		"100.64.0.1", "100.127.255.255", "127.0.0.1", "169.254.9.9",
+		"0.1.2.3", "192.0.2.55", "198.51.100.1", "203.0.113.254",
+		"198.18.0.1", "198.19.255.255", "224.0.0.5", "239.255.255.255",
+		"240.0.0.1", "255.255.255.255", "192.0.0.10",
+	}
+	out := []string{
+		"8.8.8.8", "100.128.0.0", "172.32.0.0", "192.169.0.0",
+		"11.0.0.0", "126.255.255.255", "128.0.0.1", "198.20.0.0",
+		"223.255.255.255", "192.0.3.0", "1.1.1.1", "100.63.255.255",
+	}
+	for _, a := range in {
+		if !s.Contains(netx.MustParseAddr(a)) {
+			t.Errorf("%s should be bogon", a)
+		}
+	}
+	for _, a := range out {
+		if s.Contains(netx.MustParseAddr(a)) {
+			t.Errorf("%s should not be bogon", a)
+		}
+	}
+}
+
+func TestMatchProvenance(t *testing.T) {
+	s := NewReferenceSet()
+	e, ok := s.Match(netx.MustParseAddr("10.9.8.7"))
+	if !ok || e.Origin != "RFC1918 (private)" {
+		t.Fatalf("Match = %+v %v", e, ok)
+	}
+	if _, ok := s.Match(netx.MustParseAddr("8.8.8.8")); ok {
+		t.Fatal("Match hit non-bogon")
+	}
+}
+
+func TestZeroValueSet(t *testing.T) {
+	var s Set
+	if s.Contains(netx.MustParseAddr("10.0.0.1")) {
+		t.Fatal("zero Set must match nothing")
+	}
+	if _, ok := s.Match(netx.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("zero Set must match nothing")
+	}
+}
+
+func TestCustomSet(t *testing.T) {
+	s := NewSet([]Entry{{netx.MustParsePrefix("198.51.100.0/24"), "custom"}})
+	if !s.Contains(netx.MustParseAddr("198.51.100.7")) {
+		t.Fatal("custom entry not matched")
+	}
+	if s.Contains(netx.MustParseAddr("10.0.0.1")) {
+		t.Fatal("custom set matched reference range")
+	}
+	if s.Slash24Equivalents() != 1 {
+		t.Fatalf("size = %d", s.Slash24Equivalents())
+	}
+}

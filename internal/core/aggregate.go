@@ -1,0 +1,345 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+)
+
+// TrafficClass indexes the aggregate counters: the AS-agnostic classes
+// plus one Invalid slot per approach.
+type TrafficClass int
+
+// Aggregate classes. InvalidFull is the default "Invalid" of the paper's
+// analyses after §4.3.
+const (
+	TCRegular TrafficClass = iota
+	TCBogon
+	TCUnrouted
+	TCInvalidNaive
+	TCInvalidCC
+	TCInvalidFull
+	numTrafficClasses
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case TCRegular:
+		return "regular"
+	case TCBogon:
+		return "bogon"
+	case TCUnrouted:
+		return "unrouted"
+	case TCInvalidNaive:
+		return "invalid-naive"
+	case TCInvalidCC:
+		return "invalid-cc"
+	case TCInvalidFull:
+		return "invalid-full"
+	default:
+		return "?"
+	}
+}
+
+// Counter accumulates sampled packet and byte counts.
+type Counter struct {
+	Flows   uint64
+	Packets uint64
+	Bytes   uint64
+}
+
+func (c *Counter) add(f *ipfix.Flow) {
+	c.Flows++
+	c.Packets += f.Packets
+	c.Bytes += f.Bytes
+}
+
+// MemberStats is the per-member aggregate.
+type MemberStats struct {
+	ASN     bgp.ASN
+	Port    uint32
+	Total   Counter
+	ByClass [numTrafficClasses]Counter
+	// RouterIPInvalid counts Invalid-FULL packets with router sources.
+	RouterIPInvalid uint64
+	// InvalidOrigins maps origin AS -> Invalid-FULL packets (capped).
+	InvalidOrigins map[bgp.ASN]uint64
+}
+
+// DstStats tracks per-destination fan-in for spoofed classes (Figure 11a).
+type DstStats struct {
+	Packets uint64
+	// Srcs is the exact distinct-source set, capped at fanInCap entries;
+	// SrcOverflow counts sources dropped beyond the cap.
+	Srcs        map[netx.Addr]struct{}
+	SrcOverflow uint64
+}
+
+const fanInCap = 200000
+
+// PortKey identifies a port-mix bucket.
+type PortKey struct {
+	Class TrafficClass
+	Proto uint8
+	Dir   uint8 // 0 = dst port, 1 = src port
+	Port  uint16
+}
+
+// Aggregator accumulates everything the experiment drivers need in one
+// pass over the flows.
+type Aggregator struct {
+	start        time.Time
+	bucket       time.Duration
+	members      map[uint32]*MemberStats
+	Total        [numTrafficClasses]Counter
+	GrandTotal   Counter
+	UnknownPorts uint64
+
+	// Series is the per-bucket packet time series per class.
+	Series map[TrafficClass][]uint64
+
+	// SizeHist counts packets by packet-size bin (Bytes/Packets) per class.
+	SizeHist map[TrafficClass]map[int]uint64
+
+	// Ports is the port mix (top-N extraction happens at render time).
+	Ports map[PortKey]uint64
+
+	// Slash8Src / Slash8Dst are the Figure 10 address-structure bins.
+	Slash8Src map[TrafficClass]*[256]uint64
+	Slash8Dst map[TrafficClass]*[256]uint64
+
+	// FanIn tracks destinations of Bogon/Unrouted/Invalid-FULL traffic.
+	FanIn map[TrafficClass]map[netx.Addr]*DstStats
+
+	// NTP amplification bookkeeping (dst port 123 Invalid-FULL UDP):
+	// TriggerPairs[victim][amplifier] = packets.
+	TriggerPairs map[netx.Addr]map[netx.Addr]uint64
+	// ResponsePairs[amplifier][victim] accumulates valid traffic from
+	// port 123 (candidate amplifier responses).
+	ResponsePairs map[netx.Addr]map[netx.Addr]uint64
+	// TriggerSeries / ResponseSeries are Figure 11c's per-bucket series.
+	TriggerSeries  []Counter
+	ResponseSeries []Counter
+}
+
+// NewAggregator creates an aggregator bucketing time from start.
+func NewAggregator(start time.Time, bucket time.Duration) *Aggregator {
+	a := &Aggregator{
+		start:         start,
+		bucket:        bucket,
+		members:       make(map[uint32]*MemberStats),
+		Series:        make(map[TrafficClass][]uint64),
+		SizeHist:      make(map[TrafficClass]map[int]uint64),
+		Ports:         make(map[PortKey]uint64),
+		Slash8Src:     make(map[TrafficClass]*[256]uint64),
+		Slash8Dst:     make(map[TrafficClass]*[256]uint64),
+		FanIn:         make(map[TrafficClass]map[netx.Addr]*DstStats),
+		TriggerPairs:  make(map[netx.Addr]map[netx.Addr]uint64),
+		ResponsePairs: make(map[netx.Addr]map[netx.Addr]uint64),
+	}
+	for _, c := range []TrafficClass{TCBogon, TCUnrouted, TCInvalidFull} {
+		a.FanIn[c] = make(map[netx.Addr]*DstStats)
+	}
+	return a
+}
+
+// classesOf maps a verdict to the aggregate classes it contributes to.
+func classesOf(v Verdict) []TrafficClass {
+	switch v.Class {
+	case ClassBogon:
+		return []TrafficClass{TCBogon}
+	case ClassUnrouted:
+		return []TrafficClass{TCUnrouted}
+	case ClassValid:
+		return []TrafficClass{TCRegular}
+	}
+	out := make([]TrafficClass, 0, 3)
+	if v.Invalid[ApproachNaive] {
+		out = append(out, TCInvalidNaive)
+	}
+	if v.Invalid[ApproachCC] {
+		out = append(out, TCInvalidCC)
+	}
+	if v.Invalid[ApproachFull] {
+		out = append(out, TCInvalidFull)
+	}
+	return out
+}
+
+// primaryClass is the class used for the single-class breakdowns (size
+// histograms, time series, ports, address structure): the paper's choice
+// of Invalid FULL as the working Invalid definition.
+func primaryClass(v Verdict) TrafficClass {
+	switch v.Class {
+	case ClassBogon:
+		return TCBogon
+	case ClassUnrouted:
+		return TCUnrouted
+	}
+	if v.Invalid[ApproachFull] {
+		return TCInvalidFull
+	}
+	return TCRegular
+}
+
+// Add accumulates one classified flow.
+func (a *Aggregator) Add(f ipfix.Flow, v Verdict) {
+	a.GrandTotal.add(&f)
+	if !v.KnownMember {
+		a.UnknownPorts++
+	}
+
+	ms := a.members[f.Ingress]
+	if ms == nil {
+		ms = &MemberStats{Port: f.Ingress, InvalidOrigins: make(map[bgp.ASN]uint64)}
+		a.members[f.Ingress] = ms
+	}
+	ms.Total.add(&f)
+
+	for _, c := range classesOf(v) {
+		a.Total[c].add(&f)
+		ms.ByClass[c].add(&f)
+	}
+	pc := primaryClass(v)
+	// Flows invalid only under NAIVE/CC (not FULL) count as regular in the
+	// FULL-based view; valid flows were already added via classesOf.
+	if pc == TCRegular && v.Class == ClassInvalid {
+		a.Total[TCRegular].add(&f)
+		ms.ByClass[TCRegular].add(&f)
+	}
+
+	if pc == TCInvalidFull {
+		if v.RouterIP {
+			ms.RouterIPInvalid += f.Packets
+		}
+		if len(ms.InvalidOrigins) < 4096 || ms.InvalidOrigins[v.SrcOrigin] > 0 {
+			ms.InvalidOrigins[v.SrcOrigin] += f.Packets
+		}
+	}
+
+	// Time series.
+	bi := int(f.Start.Sub(a.start) / a.bucket)
+	if bi >= 0 {
+		s := a.Series[pc]
+		for len(s) <= bi {
+			s = append(s, 0)
+		}
+		s[bi] += f.Packets
+		a.Series[pc] = s
+	}
+
+	// Packet sizes.
+	if f.Packets > 0 {
+		size := int(f.Bytes / f.Packets)
+		h := a.SizeHist[pc]
+		if h == nil {
+			h = make(map[int]uint64)
+			a.SizeHist[pc] = h
+		}
+		h[size] += f.Packets
+	}
+
+	// Port mix.
+	if f.Protocol == ipfix.ProtoTCP || f.Protocol == ipfix.ProtoUDP {
+		a.Ports[PortKey{pc, f.Protocol, 0, f.DstPort}] += f.Packets
+		a.Ports[PortKey{pc, f.Protocol, 1, f.SrcPort}] += f.Packets
+	}
+
+	// Address structure.
+	src8 := a.Slash8Src[pc]
+	if src8 == nil {
+		src8 = &[256]uint64{}
+		a.Slash8Src[pc] = src8
+	}
+	src8[f.SrcAddr.Slash8()] += f.Packets
+	dst8 := a.Slash8Dst[pc]
+	if dst8 == nil {
+		dst8 = &[256]uint64{}
+		a.Slash8Dst[pc] = dst8
+	}
+	dst8[f.DstAddr.Slash8()] += f.Packets
+
+	// Destination fan-in for spoofed classes.
+	if m, tracked := a.FanIn[pc]; tracked {
+		ds := m[f.DstAddr]
+		if ds == nil {
+			ds = &DstStats{Srcs: make(map[netx.Addr]struct{})}
+			m[f.DstAddr] = ds
+		}
+		ds.Packets += f.Packets
+		if len(ds.Srcs) < fanInCap {
+			ds.Srcs[f.SrcAddr] = struct{}{}
+		} else if _, ok := ds.Srcs[f.SrcAddr]; !ok {
+			ds.SrcOverflow++
+		}
+	}
+
+	// NTP amplification bookkeeping.
+	if f.Protocol == ipfix.ProtoUDP {
+		switch {
+		case f.DstPort == 123 && pc == TCInvalidFull:
+			m := a.TriggerPairs[f.SrcAddr] // victim = spoofed source
+			if m == nil {
+				m = make(map[netx.Addr]uint64)
+				a.TriggerPairs[f.SrcAddr] = m
+			}
+			m[f.DstAddr] += f.Packets
+			a.TriggerSeries = extendSeries(a.TriggerSeries, bi, &f)
+		case f.SrcPort == 123 && pc == TCRegular:
+			m := a.ResponsePairs[f.SrcAddr] // amplifier responds
+			if m == nil {
+				m = make(map[netx.Addr]uint64)
+				a.ResponsePairs[f.SrcAddr] = m
+			}
+			m[f.DstAddr] += f.Packets
+			a.ResponseSeries = extendSeries(a.ResponseSeries, bi, &f)
+		}
+	}
+}
+
+func extendSeries(s []Counter, bi int, f *ipfix.Flow) []Counter {
+	if bi < 0 {
+		return s
+	}
+	for len(s) <= bi {
+		s = append(s, Counter{})
+	}
+	s[bi].Packets += f.Packets
+	s[bi].Bytes += f.Bytes
+	return s
+}
+
+// Members returns per-member stats sorted by port.
+func (a *Aggregator) Members() []*MemberStats {
+	out := make([]*MemberStats, 0, len(a.members))
+	for _, m := range a.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// Member returns one member's stats (nil if it sent nothing).
+func (a *Aggregator) Member(port uint32) *MemberStats { return a.members[port] }
+
+// SetMemberASN back-fills the ASN on member stats (ports arrive from
+// flows; ASNs from the member table).
+func (a *Aggregator) SetMemberASN(port uint32, asn bgp.ASN) {
+	if m := a.members[port]; m != nil {
+		m.ASN = asn
+	}
+}
+
+// ContributingMembers counts members with any traffic in the class.
+func (a *Aggregator) ContributingMembers(c TrafficClass) int {
+	n := 0
+	for _, m := range a.members {
+		if m.ByClass[c].Packets > 0 {
+			n++
+		}
+	}
+	return n
+}

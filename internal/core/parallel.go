@@ -1,0 +1,172 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+)
+
+// Merge folds other into a. Both must have been created with the same
+// start and bucket length; other must not be used afterwards.
+func (a *Aggregator) Merge(other *Aggregator) {
+	a.GrandTotal.Flows += other.GrandTotal.Flows
+	a.GrandTotal.Packets += other.GrandTotal.Packets
+	a.GrandTotal.Bytes += other.GrandTotal.Bytes
+	a.UnknownPorts += other.UnknownPorts
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		a.Total[c].Flows += other.Total[c].Flows
+		a.Total[c].Packets += other.Total[c].Packets
+		a.Total[c].Bytes += other.Total[c].Bytes
+	}
+	for port, om := range other.members {
+		ms := a.members[port]
+		if ms == nil {
+			a.members[port] = om
+			continue
+		}
+		ms.Total.Flows += om.Total.Flows
+		ms.Total.Packets += om.Total.Packets
+		ms.Total.Bytes += om.Total.Bytes
+		for c := TrafficClass(0); c < numTrafficClasses; c++ {
+			ms.ByClass[c].Flows += om.ByClass[c].Flows
+			ms.ByClass[c].Packets += om.ByClass[c].Packets
+			ms.ByClass[c].Bytes += om.ByClass[c].Bytes
+		}
+		ms.RouterIPInvalid += om.RouterIPInvalid
+		for o, pkts := range om.InvalidOrigins {
+			ms.InvalidOrigins[o] += pkts
+		}
+	}
+	for c, os := range other.Series {
+		s := a.Series[c]
+		for len(s) < len(os) {
+			s = append(s, 0)
+		}
+		for i, v := range os {
+			s[i] += v
+		}
+		a.Series[c] = s
+	}
+	for c, oh := range other.SizeHist {
+		h := a.SizeHist[c]
+		if h == nil {
+			a.SizeHist[c] = oh
+			continue
+		}
+		for size, n := range oh {
+			h[size] += n
+		}
+	}
+	for k, v := range other.Ports {
+		a.Ports[k] += v
+	}
+	mergeSlash8 := func(dst map[TrafficClass]*[256]uint64, src map[TrafficClass]*[256]uint64) {
+		for c, ob := range src {
+			b := dst[c]
+			if b == nil {
+				dst[c] = ob
+				continue
+			}
+			for i, v := range ob {
+				b[i] += v
+			}
+		}
+	}
+	mergeSlash8(a.Slash8Src, other.Slash8Src)
+	mergeSlash8(a.Slash8Dst, other.Slash8Dst)
+	for c, om := range other.FanIn {
+		m := a.FanIn[c]
+		if m == nil {
+			a.FanIn[c] = om
+			continue
+		}
+		for dst, ods := range om {
+			ds := m[dst]
+			if ds == nil {
+				m[dst] = ods
+				continue
+			}
+			ds.Packets += ods.Packets
+			ds.SrcOverflow += ods.SrcOverflow
+			for src := range ods.Srcs {
+				if len(ds.Srcs) < fanInCap {
+					ds.Srcs[src] = struct{}{}
+				} else if _, ok := ds.Srcs[src]; !ok {
+					ds.SrcOverflow++
+				}
+			}
+		}
+	}
+	mergePairs := func(dst, src map[netx.Addr]map[netx.Addr]uint64) {
+		for k, om := range src {
+			m := dst[k]
+			if m == nil {
+				dst[k] = om
+				continue
+			}
+			for kk, v := range om {
+				m[kk] += v
+			}
+		}
+	}
+	mergePairs(a.TriggerPairs, other.TriggerPairs)
+	mergePairs(a.ResponsePairs, other.ResponsePairs)
+	mergeCounterSeries := func(dst *[]Counter, src []Counter) {
+		s := *dst
+		for len(s) < len(src) {
+			s = append(s, Counter{})
+		}
+		for i, c := range src {
+			s[i].Flows += c.Flows
+			s[i].Packets += c.Packets
+			s[i].Bytes += c.Bytes
+		}
+		*dst = s
+	}
+	mergeCounterSeries(&a.TriggerSeries, other.TriggerSeries)
+	mergeCounterSeries(&a.ResponseSeries, other.ResponseSeries)
+}
+
+// ClassifyParallel classifies flows across workers goroutines (default:
+// GOMAXPROCS) and returns the merged aggregate. Classification is
+// read-only on the pipeline, so sharding is embarrassingly parallel; only
+// the final merge is serialized.
+func (p *Pipeline) ClassifyParallel(flows []ipfix.Flow, workers int, newAgg func() *Aggregator) *Aggregator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(flows) {
+		workers = 1
+	}
+	aggs := make([]*Aggregator, workers)
+	var wg sync.WaitGroup
+	chunk := (len(flows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(flows) {
+			hi = len(flows)
+		}
+		if lo >= hi {
+			aggs[w] = newAgg()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			agg := newAgg()
+			for _, f := range flows[lo:hi] {
+				agg.Add(f, p.Classify(f))
+			}
+			aggs[w] = agg
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := aggs[0]
+	for _, agg := range aggs[1:] {
+		out.Merge(agg)
+	}
+	return out
+}

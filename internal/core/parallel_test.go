@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestClassifyParallelMatchesSerial verifies that sharded classification
+// plus merge reproduces the serial aggregate exactly.
+func TestClassifyParallelMatchesSerial(t *testing.T) {
+	s, p, flows, _ := buildEndToEnd(t)
+	bucket := s.Cfg.Duration / 100
+	newAgg := func() *Aggregator { return NewAggregator(s.Cfg.Start, bucket) }
+
+	serial := newAgg()
+	for _, f := range flows {
+		serial.Add(f, p.Classify(f))
+	}
+	for _, workers := range []int{1, 2, 7} {
+		par := p.ClassifyParallel(flows, workers, newAgg)
+		compareAggregates(t, serial, par, workers)
+	}
+}
+
+func compareAggregates(t *testing.T, a, b *Aggregator, workers int) {
+	t.Helper()
+	if a.GrandTotal != b.GrandTotal {
+		t.Fatalf("workers=%d: grand totals differ: %+v vs %+v", workers, a.GrandTotal, b.GrandTotal)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("workers=%d: class totals differ", workers)
+	}
+	if a.UnknownPorts != b.UnknownPorts {
+		t.Fatalf("workers=%d: unknown ports differ", workers)
+	}
+	am, bm := a.Members(), b.Members()
+	if len(am) != len(bm) {
+		t.Fatalf("workers=%d: member counts differ: %d vs %d", workers, len(am), len(bm))
+	}
+	for i := range am {
+		if am[i].Port != bm[i].Port || am[i].Total != bm[i].Total ||
+			am[i].ByClass != bm[i].ByClass || am[i].RouterIPInvalid != bm[i].RouterIPInvalid {
+			t.Fatalf("workers=%d: member %d differs", workers, am[i].Port)
+		}
+		if !reflect.DeepEqual(am[i].InvalidOrigins, bm[i].InvalidOrigins) {
+			t.Fatalf("workers=%d: member %d invalid origins differ", workers, am[i].Port)
+		}
+	}
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Fatalf("workers=%d: series differ", workers)
+	}
+	if !reflect.DeepEqual(a.SizeHist, b.SizeHist) {
+		t.Fatalf("workers=%d: size histograms differ", workers)
+	}
+	if !reflect.DeepEqual(a.Ports, b.Ports) {
+		t.Fatalf("workers=%d: port mixes differ", workers)
+	}
+	for c := range a.FanIn {
+		if len(a.FanIn[c]) != len(b.FanIn[c]) {
+			t.Fatalf("workers=%d: fan-in %v differs", workers, c)
+		}
+		for dst, ds := range a.FanIn[c] {
+			other := b.FanIn[c][dst]
+			if other == nil || ds.Packets != other.Packets ||
+				len(ds.Srcs) != len(other.Srcs) || ds.SrcOverflow != other.SrcOverflow {
+				t.Fatalf("workers=%d: fan-in %v/%v differs", workers, c, dst)
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.TriggerPairs, b.TriggerPairs) {
+		t.Fatalf("workers=%d: trigger pairs differ", workers)
+	}
+	if !reflect.DeepEqual(a.ResponsePairs, b.ResponsePairs) {
+		t.Fatalf("workers=%d: response pairs differ", workers)
+	}
+	if !reflect.DeepEqual(a.TriggerSeries, b.TriggerSeries) ||
+		!reflect.DeepEqual(a.ResponseSeries, b.ResponseSeries) {
+		t.Fatalf("workers=%d: NTP series differ", workers)
+	}
+}
+
+func TestClassifyParallelEmptyAndTiny(t *testing.T) {
+	_, p, flows, _ := buildEndToEnd(t)
+	newAgg := func() *Aggregator { return NewAggregator(time.Unix(0, 0), time.Hour) }
+	if agg := p.ClassifyParallel(nil, 4, newAgg); agg.GrandTotal.Flows != 0 {
+		t.Fatal("empty input produced flows")
+	}
+	if agg := p.ClassifyParallel(flows[:3], 16, newAgg); agg.GrandTotal.Flows != 3 {
+		t.Fatalf("tiny input: %d flows", agg.GrandTotal.Flows)
+	}
+}

@@ -1,0 +1,344 @@
+// Package core implements the paper's primary contribution: the passive
+// spoofing classification pipeline of Figure 3. Each flow's source address
+// is matched, strictly sequentially, against (1) the bogon list, (2) the
+// routed address space, and (3) the per-member valid address space under
+// each of the three inference approaches (Naive, Customer Cone, Full Cone),
+// yielding mutually exclusive classes Bogon / Unrouted / Invalid / Valid.
+//
+// The pipeline additionally tags Invalid traffic whose source is a known
+// router interface address (stray traffic, §5.2) when a traceroute-derived
+// router set is attached.
+package core
+
+import (
+	"fmt"
+
+	"spoofscope/internal/astopo"
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/bogon"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+)
+
+// Class is the AS-agnostic classification outcome.
+type Class uint8
+
+// Classes, mutually exclusive, in pipeline order.
+const (
+	ClassValid Class = iota
+	ClassBogon
+	ClassUnrouted
+	ClassInvalid // under at least the approach consulted; see Verdict
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassValid:
+		return "valid"
+	case ClassBogon:
+		return "bogon"
+	case ClassUnrouted:
+		return "unrouted"
+	case ClassInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}
+
+// Approach indexes the three valid-space inference methods in Verdict.
+type Approach int
+
+// Approaches, ordered as in the paper's Table 1 discussion.
+const (
+	ApproachNaive Approach = iota
+	ApproachCC
+	ApproachFull
+	numApproaches
+)
+
+func (a Approach) String() string {
+	switch a {
+	case ApproachNaive:
+		return "NAIVE"
+	case ApproachCC:
+		return "CC"
+	case ApproachFull:
+		return "FULL"
+	default:
+		return "?"
+	}
+}
+
+// Verdict is the classification of one flow.
+type Verdict struct {
+	// Class is ClassBogon, ClassUnrouted, or — when any approach flags the
+	// source invalid — ClassInvalid; ClassValid otherwise. For
+	// ClassInvalid consult Invalid[approach] for the per-approach view.
+	Class Class
+	// Invalid reports per-approach invalidity (meaningful only when Class
+	// is ClassInvalid or ClassValid: bogon/unrouted short-circuit).
+	Invalid [numApproaches]bool
+	// SrcOrigin is the origin AS of the most specific routed prefix
+	// covering the source (zero for bogon/unrouted sources).
+	SrcOrigin bgp.ASN
+	// RouterIP marks sources that are known router interface addresses.
+	RouterIP bool
+	// KnownMember is false when the ingress port has no member mapping;
+	// such flows are counted but not classified member-specifically.
+	KnownMember bool
+}
+
+// InvalidFor reports whether the flow is Invalid under the approach (the
+// per-approach "class" of Table 1: Bogon and Unrouted short-circuit).
+func (v Verdict) InvalidFor(a Approach) bool {
+	return v.Class != ClassBogon && v.Class != ClassUnrouted && v.Invalid[a]
+}
+
+// MemberInfo identifies one IXP member for the pipeline.
+type MemberInfo struct {
+	ASN  bgp.ASN
+	Port uint32
+}
+
+// RouterSet is the minimal interface to a traceroute-derived router
+// address set.
+type RouterSet interface {
+	Contains(netx.Addr) bool
+}
+
+// Options tunes pipeline construction.
+type Options struct {
+	// Bogons overrides the bogon list (default: the reference set).
+	Bogons *bogon.Set
+	// Orgs lists multi-AS organisation groups to merge (may be nil).
+	Orgs [][]bgp.ASN
+	// Routers, when non-nil, tags router-sourced traffic.
+	Routers RouterSet
+	// PeerDegreeRatio tunes relationship inference (0 = default).
+	PeerDegreeRatio float64
+	// DisableOrgMerge computes the cones without organisation merging
+	// (the ablation of §4.3's "Impact of Multi-AS Organizations").
+	DisableOrgMerge bool
+	// FullConeDepth, when > 0, bounds the Full Cone to that many directed
+	// hops per member instead of the full transitive closure — the
+	// paper's future-work "tighter bounds" knob. 0 means unlimited.
+	FullConeDepth int
+	// ExtraLinks injects AS links known from out-of-band sources (WHOIS
+	// import/export policies, looking glasses) into the graph before cone
+	// computation — the paper's future-work proactive enrichment.
+	ExtraLinks [][2]bgp.ASN
+}
+
+// memberState is the compiled per-member validity data.
+type memberState struct {
+	info    MemberInfo
+	asIdx   int       // dense index in the AS graph, -1 if absent
+	naive   *netx.LPM // naive valid space
+	validCC *netx.Bitset
+	validFC *netx.Bitset
+	// extra whitelists added by false-positive resolution (§4.4).
+	extra *netx.Trie
+}
+
+// Pipeline is the compiled classifier. Classification is read-only and
+// safe for concurrent use; AllowSource mutates and must not race Classify.
+type Pipeline struct {
+	bogons  *bogon.Set
+	origins *netx.LPM // routed prefix -> origin ASN (MOAS-resolved)
+	graph   *astopo.Graph
+	full    *astopo.Closure
+	cc      *astopo.Closure
+	naive   *astopo.NaiveIndex
+	routers RouterSet
+
+	byPort map[uint32]*memberState
+	byASN  map[bgp.ASN]*memberState
+
+	// RoutedSlash24 is the routed space size, for reporting.
+	routedSpace netx.IntervalSet
+
+	// anns and spacesOnce back the lazy per-origin space computation used
+	// by FilterList.
+	anns       []bgp.Announcement
+	spacesOnce []netx.IntervalSet
+}
+
+// NewPipeline compiles a classifier from a RIB and the member list.
+func NewPipeline(rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: no members")
+	}
+	bogons := opts.Bogons
+	if bogons == nil {
+		bogons = bogon.NewReferenceSet()
+	}
+	anns := rib.Announcements()
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("core: RIB is empty")
+	}
+	graph := astopo.NewGraph(anns)
+	if !opts.DisableOrgMerge && len(opts.Orgs) > 0 {
+		graph.AddOrgMesh(opts.Orgs)
+	}
+	for _, l := range opts.ExtraLinks {
+		graph.AddLinkASN(l[0], l[1])
+	}
+	graph.InferRelationships(anns, opts.PeerDegreeRatio)
+
+	full := graph.FullConeClosure()
+	var cc *astopo.Closure
+	if !opts.DisableOrgMerge && len(opts.Orgs) > 0 {
+		cc = graph.CustomerConeWithOrgs(opts.Orgs)
+	} else {
+		cc = graph.CustomerConeClosure(false)
+	}
+	naive := astopo.NewNaiveIndex(graph, anns)
+
+	p := &Pipeline{
+		bogons:      bogons,
+		anns:        anns,
+		origins:     rib.OriginTable(),
+		graph:       graph,
+		full:        full,
+		cc:          cc,
+		naive:       naive,
+		routers:     opts.Routers,
+		byPort:      make(map[uint32]*memberState, len(members)),
+		byASN:       make(map[bgp.ASN]*memberState, len(members)),
+		routedSpace: rib.RoutedSpace(),
+	}
+	for _, mi := range members {
+		ms := &memberState{info: mi, asIdx: graph.Index(mi.ASN)}
+		if ms.asIdx >= 0 {
+			ms.naive = naive.ValidLPM(ms.asIdx)
+			ms.validCC = cc.ValidOriginSet(ms.asIdx)
+			if opts.FullConeDepth > 0 {
+				ms.validFC = graph.BoundedCone(ms.asIdx, opts.FullConeDepth)
+			} else {
+				ms.validFC = full.ValidOriginSet(ms.asIdx)
+			}
+		}
+		p.byPort[mi.Port] = ms
+		p.byASN[mi.ASN] = ms
+	}
+	return p, nil
+}
+
+// Graph exposes the AS graph (read-only) for analyses.
+func (p *Pipeline) Graph() *astopo.Graph { return p.graph }
+
+// FullCone exposes the Full Cone closure.
+func (p *Pipeline) FullCone() *astopo.Closure { return p.full }
+
+// CustomerCone exposes the Customer Cone closure.
+func (p *Pipeline) CustomerCone() *astopo.Closure { return p.cc }
+
+// NaiveIndex exposes the naive per-AS prefix index.
+func (p *Pipeline) NaiveIndex() *astopo.NaiveIndex { return p.naive }
+
+// RoutedSpace returns the routed address space.
+func (p *Pipeline) RoutedSpace() netx.IntervalSet { return p.routedSpace }
+
+// SetRouters attaches (or replaces) the router address set.
+func (p *Pipeline) SetRouters(rs RouterSet) { p.routers = rs }
+
+// AllowSource whitelists an address range for one member — the §4.4
+// correction applied after WHOIS evidence confirms a missing relationship.
+func (p *Pipeline) AllowSource(member bgp.ASN, prefix netx.Prefix) error {
+	ms, ok := p.byASN[member]
+	if !ok {
+		return fmt.Errorf("core: unknown member %s", member)
+	}
+	if ms.extra == nil {
+		ms.extra = netx.NewTrie()
+	}
+	ms.extra.Insert(prefix, 1)
+	return nil
+}
+
+// Classify runs the Figure 3 pipeline on one flow.
+func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
+	var v Verdict
+	src := f.SrcAddr
+
+	if p.bogons.Contains(src) {
+		v.Class = ClassBogon
+		_, v.KnownMember = p.byPort[f.Ingress]
+		return v
+	}
+
+	// Collect covering routed prefixes (shortest to longest); the most
+	// specific origin is the attributed source AS. 17 slots suffice for
+	// every possible /8../24 nesting chain; deeper chains (custom RIB
+	// length bounds) keep overwriting the last slot so the most specific
+	// origin is never lost.
+	var origins [17]uint32
+	nOrigins := 0
+	p.origins.Matches(src, func(bits uint8, origin uint32) bool {
+		if nOrigins < len(origins) {
+			origins[nOrigins] = origin
+			nOrigins++
+		} else {
+			origins[len(origins)-1] = origin
+		}
+		return true
+	})
+	if nOrigins == 0 {
+		v.Class = ClassUnrouted
+		_, v.KnownMember = p.byPort[f.Ingress]
+		return v
+	}
+	v.SrcOrigin = bgp.ASN(origins[nOrigins-1])
+	if p.routers != nil && p.routers.Contains(src) {
+		v.RouterIP = true
+	}
+
+	ms, ok := p.byPort[f.Ingress]
+	if !ok {
+		v.Class = ClassValid
+		return v
+	}
+	v.KnownMember = true
+	if ms.asIdx < 0 {
+		// Member invisible in BGP: everything routed is (conservatively)
+		// valid for it.
+		v.Class = ClassValid
+		return v
+	}
+	if ms.extra != nil {
+		if _, whitelisted := ms.extra.Lookup(src); whitelisted {
+			v.Class = ClassValid
+			return v
+		}
+	}
+
+	// A source is valid under an approach when ANY covering routed prefix
+	// is attributable to the member: covering less-specifics matter when a
+	// customer's PA sub-prefix has a different origin than the provider
+	// block that actually makes the space legitimate.
+	naiveValid := ms.naive.Contains(src)
+	ccValid, fcValid := false, false
+	for i := 0; i < nOrigins; i++ {
+		oi := p.graph.Index(bgp.ASN(origins[i]))
+		if oi < 0 {
+			continue
+		}
+		if ms.validCC.Test(oi) {
+			ccValid = true
+		}
+		if ms.validFC.Test(oi) {
+			fcValid = true
+		}
+		if ccValid && fcValid {
+			break
+		}
+	}
+	v.Invalid[ApproachNaive] = !naiveValid
+	v.Invalid[ApproachCC] = !ccValid
+	v.Invalid[ApproachFull] = !fcValid
+	if !naiveValid || !ccValid || !fcValid {
+		v.Class = ClassInvalid
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderer is any experiment result.
+type Renderer interface {
+	Render() string
+}
+
+// errRenderer surfaces a driver failure inside the report.
+type errRenderer struct{ err error }
+
+func (e errRenderer) Render() string { return "ERROR: " + e.err.Error() + "\n" }
+
+// RunAll executes every experiment against one environment and writes the
+// rendered reports to w, in paper order. Section 4.4 runs last because it
+// mutates the pipeline (whitelists).
+func RunAll(env *Env, w io.Writer) error {
+	sections := []struct {
+		title string
+		run   func() Renderer
+	}{
+		{"Section 2.2", func() Renderer { return Section22(env) }},
+		{"Figure 1a", func() Renderer { return Figure1a(env) }},
+		{"Figure 2", func() Renderer { return Figure2(env) }},
+		{"Section 3.4", func() Renderer { return ConeContainment(env) }},
+		{"Table 1", func() Renderer { return Table1(env) }},
+		{"Figure 4", func() Renderer { return Figure4(env) }},
+		{"Figure 5", func() Renderer { return Figure5(env) }},
+		{"Figure 6", func() Renderer { return Figure6(env) }},
+		{"Figure 7", func() Renderer { return Figure7(env) }},
+		{"Figure 8a", func() Renderer { return Figure8a(env) }},
+		{"Figure 8b", func() Renderer { return Figure8b(env) }},
+		{"Figure 9", func() Renderer { return Figure9(env) }},
+		{"Figure 10", func() Renderer { return Figure10(env) }},
+		{"Figure 11a", func() Renderer { return Figure11a(env) }},
+		{"Figure 11b", func() Renderer { return Figure11b(env) }},
+		{"Figure 11c", func() Renderer { return Figure11c(env) }},
+		{"Section 7", func() Renderer { return Section7NTP(env) }},
+		{"Section 7: attack catalogue", func() Renderer { return AttackCatalogue(env) }},
+		{"Deployment leverage", func() Renderer { return DeploymentLeverage(env) }},
+		{"Section 4.5", func() Renderer { return Section45(env) }},
+		{"Extension: cone depth", func() Renderer {
+			r, err := DepthAblation(env, []int{1, 2, 4, 0})
+			if err != nil {
+				return errRenderer{err}
+			}
+			return r
+		}},
+		{"Extension: WHOIS enrichment", func() Renderer {
+			r, err := ProactiveEnrichment(env)
+			if err != nil {
+				return errRenderer{err}
+			}
+			return r
+		}},
+		{"Section 4.4", func() Renderer { return Section44(env, 40) }},
+	}
+	for _, s := range sections {
+		if _, err := fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", s.title, s.run().Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spoofscope/internal/attacks"
+	"spoofscope/internal/stats"
+)
+
+// AttackCatalogueResult is the §7 attack catalogue: the discrete events
+// the streaming detector extracts from the classified traffic.
+type AttackCatalogueResult struct {
+	Floods    []attacks.FloodEvent
+	Campaigns []attacks.AmplificationCampaign
+}
+
+// AttackCatalogue runs the event detector over the environment's traffic.
+func AttackCatalogue(env *Env) *AttackCatalogueResult {
+	d := attacks.NewDetector(attacks.Config{})
+	for _, f := range env.Flows {
+		d.Add(f, env.Pipeline.Classify(f))
+	}
+	return &AttackCatalogueResult{Floods: d.Floods(), Campaigns: d.Campaigns()}
+}
+
+// Render prints the catalogue.
+func (r *AttackCatalogueResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§7 — attack catalogue (%d flood events, %d amplification campaigns)\n\n",
+		len(r.Floods), len(r.Campaigns))
+	ft := &stats.Table{Header: []string{"flood victim", "class", "pkts", "unique srcs", "ratio", "members", "duration"}}
+	for i, f := range r.Floods {
+		if i >= 8 {
+			break
+		}
+		ft.AddRow(f.Victim.String(), f.Class.String(), int(f.Packets),
+			f.UniqueSources, f.SourceRatio, len(f.Members),
+			f.End.Sub(f.Start).Round(1e9).String())
+	}
+	b.WriteString(ft.Render())
+	b.WriteByte('\n')
+	ct := &stats.Table{Header: []string{"campaign victim", "amplifiers", "trig pkts", "resp pkts", "amp ratio", "members"}}
+	for i, c := range r.Campaigns {
+		if i >= 8 {
+			break
+		}
+		ct.AddRow(c.Victim.String(), c.Amplifiers, int(c.TriggerPackets),
+			int(c.ResponsePackets), c.AmplificationRatio, len(c.Members))
+	}
+	b.WriteString(ct.Render())
+	b.WriteString("(random-spoof floods show ratio ≈ 1; campaigns show byte amplification ≈ 10x)\n")
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDepthAblation(t *testing.T) {
+	env := testEnv(t)
+	r, err := DepthAblation(env, []int{1, 2, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byDepth := map[int]DepthAblationRow{}
+	for _, row := range r.Rows {
+		byDepth[row.Depth] = row
+	}
+	// Monotonicity: tighter cones flag at least as much spoofed traffic
+	// and at least as many false positives as looser ones.
+	if byDepth[1].SpoofedRecall < byDepth[0].SpoofedRecall {
+		t.Errorf("depth-1 recall %v below unlimited %v",
+			byDepth[1].SpoofedRecall, byDepth[0].SpoofedRecall)
+	}
+	if byDepth[1].LegitFPRate < byDepth[0].LegitFPRate {
+		t.Errorf("depth-1 FP rate %v below unlimited %v",
+			byDepth[1].LegitFPRate, byDepth[0].LegitFPRate)
+	}
+	if byDepth[1].InvalidShare < byDepth[4].InvalidShare ||
+		byDepth[4].InvalidShare < byDepth[0].InvalidShare {
+		t.Errorf("invalid share not monotone: d1=%v d4=%v d∞=%v",
+			byDepth[1].InvalidShare, byDepth[4].InvalidShare, byDepth[0].InvalidShare)
+	}
+	// The tradeoff must be real: depth 1 catches more spoofing AND has a
+	// visibly higher FP cost.
+	if byDepth[1].LegitFPRate <= byDepth[0].LegitFPRate {
+		t.Error("no FP cost at depth 1 — ablation inert")
+	}
+	if !strings.Contains(r.Render(), "∞ (paper)") {
+		t.Error("render broken")
+	}
+}
+
+func TestProactiveEnrichment(t *testing.T) {
+	env := testEnv(t)
+	r, err := ProactiveEnrichment(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinksInjected == 0 {
+		t.Fatal("no links injected")
+	}
+	// Enrichment must reduce false positives (hidden peers become valid)...
+	if r.EnrichedFPRate >= r.BaselineFPRate {
+		t.Errorf("enrichment did not reduce FP rate: %v -> %v",
+			r.BaselineFPRate, r.EnrichedFPRate)
+	}
+	// ...without destroying detection.
+	if r.EnrichedRecall < r.BaselineRecall*0.9 {
+		t.Errorf("enrichment hurt recall: %v -> %v",
+			r.BaselineRecall, r.EnrichedRecall)
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spoofscope/internal/core"
+	"spoofscope/internal/stats"
+)
+
+// DeploymentLeverageResult answers the operator question behind §5 and the
+// MANRS discussion of §2: if the K worst members deployed proper egress
+// filtering, how much of the IXP's spoofed traffic would disappear?
+type DeploymentLeverageResult struct {
+	// Coverage[k] is the spoofed-packet share attributable to the top-k
+	// members (k is 1-based; index 0 unused).
+	Coverage []float64
+	// MembersEmitting counts members with any spoofed-class traffic.
+	MembersEmitting int
+	TotalSpoofedPkt uint64
+}
+
+// DeploymentLeverage ranks members by their Bogon+Unrouted+Invalid(FULL)
+// packet volume and computes the cumulative coverage curve.
+func DeploymentLeverage(env *Env) *DeploymentLeverageResult {
+	type mv struct {
+		pkts uint64
+		port uint32
+	}
+	var members []mv
+	var total uint64
+	for _, m := range env.Agg.Members() {
+		p := m.ByClass[core.TCBogon].Packets +
+			m.ByClass[core.TCUnrouted].Packets +
+			m.ByClass[core.TCInvalidFull].Packets
+		if p == 0 {
+			continue
+		}
+		members = append(members, mv{p, m.Port})
+		total += p
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].pkts != members[j].pkts {
+			return members[i].pkts > members[j].pkts
+		}
+		return members[i].port < members[j].port
+	})
+	res := &DeploymentLeverageResult{
+		Coverage:        make([]float64, len(members)+1),
+		MembersEmitting: len(members),
+		TotalSpoofedPkt: total,
+	}
+	var acc uint64
+	for i, m := range members {
+		acc += m.pkts
+		res.Coverage[i+1] = float64(acc) / float64(total)
+	}
+	return res
+}
+
+// CoverageAt returns the spoofed-traffic share of the top-k members.
+func (r *DeploymentLeverageResult) CoverageAt(k int) float64 {
+	if k <= 0 || len(r.Coverage) == 0 {
+		return 0
+	}
+	if k >= len(r.Coverage) {
+		return 1
+	}
+	return r.Coverage[k]
+}
+
+// Render prints the leverage curve.
+func (r *DeploymentLeverageResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deployment leverage — %d members emit spoofed-class traffic\n", r.MembersEmitting)
+	t := &stats.Table{Header: []string{"if the top-K filtered", "spoofed traffic removed"}}
+	for _, k := range []int{1, 3, 5, 10, 20, 50} {
+		if k > r.MembersEmitting {
+			break
+		}
+		t.AddRow(fmt.Sprintf("K = %d", k), stats.Percent(r.CoverageAt(k)))
+	}
+	b.WriteString(t.Render())
+	b.WriteString("(a handful of members carry most spoofed traffic — the paper's §7\n")
+	b.WriteString(" found one member behind 91.94% of NTP triggers; filtering incentives\n")
+	b.WriteString(" concentrate accordingly)\n")
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spoofscope/internal/core"
+	"spoofscope/internal/stats"
+)
+
+// Figure4Result is the per-member class-share CCDF of Figure 4.
+type Figure4Result struct {
+	// Share distributions: per member, class packets / total packets.
+	Bogon, Unrouted, Invalid stats.Distribution
+	// MaxShare per class (paper: bogon max ~10%, unrouted ~9%, invalid
+	// reaches ~100% for a few members).
+	MaxBogon, MaxUnrouted, MaxInvalid float64
+}
+
+// Figure4 computes the fraction of each member's traffic that falls into
+// Bogon / Unrouted / Invalid (FULL).
+func Figure4(env *Env) *Figure4Result {
+	r := &Figure4Result{}
+	for _, m := range env.Agg.Members() {
+		if m.Total.Packets == 0 {
+			continue
+		}
+		tot := float64(m.Total.Packets)
+		r.Bogon.AddN(float64(m.ByClass[core.TCBogon].Packets) / tot)
+		r.Unrouted.AddN(float64(m.ByClass[core.TCUnrouted].Packets) / tot)
+		r.Invalid.AddN(float64(m.ByClass[core.TCInvalidFull].Packets) / tot)
+	}
+	r.MaxBogon = r.Bogon.Max()
+	r.MaxUnrouted = r.Unrouted.Max()
+	r.MaxInvalid = r.Invalid.Max()
+	return r
+}
+
+// Render prints CCDF points.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — CCDF of per-member class share of own traffic (packets)\n")
+	points := []float64{0, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5}
+	t := &stats.Table{Header: []string{"share >", "bogon", "unrouted", "invalid"}}
+	for _, p := range points {
+		t.AddRow(stats.FormatFloat(p),
+			stats.Percent(r.Bogon.CCDF(p)),
+			stats.Percent(r.Unrouted.CCDF(p)),
+			stats.Percent(r.Invalid.CCDF(p)))
+	}
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "max member share: bogon %s, unrouted %s, invalid %s\n",
+		stats.Percent(r.MaxBogon), stats.Percent(r.MaxUnrouted), stats.Percent(r.MaxInvalid))
+	b.WriteString("(paper: bogon max ~10%, unrouted ~9%, a few members near 100% invalid)\n")
+	return b.String()
+}
+
+// Figure5Result is the member-participation Venn of Figure 5.
+type Figure5Result struct {
+	Venn stats.Venn3 // A=bogon, B=unrouted, C=invalid(FULL)
+	// UnroutedAlsoOther: of unrouted-contributing members, the share that
+	// also contribute bogon or invalid (paper: 96%).
+	UnroutedAlsoOther float64
+}
+
+// Figure5 classifies members by which classes they contribute to.
+func Figure5(env *Env) *Figure5Result {
+	r := &Figure5Result{}
+	unrouted, unroutedAlso := 0, 0
+	for _, m := range env.Agg.Members() {
+		a := m.ByClass[core.TCBogon].Packets > 0
+		b := m.ByClass[core.TCUnrouted].Packets > 0
+		c := m.ByClass[core.TCInvalidFull].Packets > 0
+		r.Venn.Add(a, b, c)
+		if b {
+			unrouted++
+			if a || c {
+				unroutedAlso++
+			}
+		}
+	}
+	if unrouted > 0 {
+		r.UnroutedAlsoOther = float64(unroutedAlso) / float64(unrouted)
+	}
+	return r
+}
+
+// Render prints the Venn regions.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — member participation Venn (B=bogon, U=unrouted, I=invalid)\n")
+	t := &stats.Table{Header: []string{"region", "share of members"}}
+	t.AddRow("clean (none)", stats.Percent(r.Venn.Fraction(false, false, false)))
+	t.AddRow("B only", stats.Percent(r.Venn.Fraction(true, false, false)))
+	t.AddRow("U only", stats.Percent(r.Venn.Fraction(false, true, false)))
+	t.AddRow("I only", stats.Percent(r.Venn.Fraction(false, false, true)))
+	t.AddRow("B∩U", stats.Percent(r.Venn.Fraction(true, true, false)))
+	t.AddRow("B∩I", stats.Percent(r.Venn.Fraction(true, false, true)))
+	t.AddRow("U∩I", stats.Percent(r.Venn.Fraction(false, true, true)))
+	t.AddRow("B∩U∩I", stats.Percent(r.Venn.Fraction(true, true, true)))
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "unrouted members also contributing B or I: %s (paper: 96%%)\n", stats.Percent(r.UnroutedAlsoOther))
+	b.WriteString("(paper: clean 18%, all three 28%, B-only ~9.6%, I-only ~7.6%)\n")
+	return b.String()
+}
+
+// Figure6Result is the business-type scatter of Figure 6.
+type Figure6Result struct {
+	// PerType aggregates member counts and high-share counts per type.
+	PerType map[string]*Figure6Cell
+}
+
+// Figure6Cell summarizes one business type.
+type Figure6Cell struct {
+	Members          int
+	MedianTotalPkts  float64
+	HighBogonShare   int // members with > 1% bogon share
+	HighInvalidShare int // members with > 1% invalid share
+	CleanMembers     int
+}
+
+// Figure6 correlates business types with illegitimate-traffic shares.
+func Figure6(env *Env) *Figure6Result {
+	r := &Figure6Result{PerType: make(map[string]*Figure6Cell)}
+	perTypeTotals := make(map[string]*stats.Distribution)
+	for _, m := range env.Agg.Members() {
+		mem := env.Scenario.MemberByPort(m.Port)
+		if mem == nil || m.Total.Packets == 0 {
+			continue
+		}
+		key := mem.Type.String()
+		cell := r.PerType[key]
+		if cell == nil {
+			cell = &Figure6Cell{}
+			r.PerType[key] = cell
+			perTypeTotals[key] = &stats.Distribution{}
+		}
+		cell.Members++
+		perTypeTotals[key].AddN(float64(m.Total.Packets))
+		tot := float64(m.Total.Packets)
+		bogonShare := float64(m.ByClass[core.TCBogon].Packets) / tot
+		invalidShare := float64(m.ByClass[core.TCInvalidFull].Packets) / tot
+		if bogonShare > 0.01 {
+			cell.HighBogonShare++
+		}
+		if invalidShare > 0.01 {
+			cell.HighInvalidShare++
+		}
+		if m.ByClass[core.TCBogon].Packets == 0 &&
+			m.ByClass[core.TCUnrouted].Packets == 0 &&
+			m.ByClass[core.TCInvalidFull].Packets == 0 {
+			cell.CleanMembers++
+		}
+	}
+	for key, d := range perTypeTotals {
+		r.PerType[key].MedianTotalPkts = d.Quantile(0.5)
+	}
+	return r
+}
+
+// Render prints the per-type summary.
+func (r *Figure6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — business types vs traffic and illegitimate shares\n")
+	t := &stats.Table{Header: []string{"type", "members", "median pkts", ">1% bogon", ">1% invalid", "clean"}}
+	for _, key := range []string{"NSP", "ISP", "Hosting", "Content", "Other"} {
+		c := r.PerType[key]
+		if c == nil {
+			continue
+		}
+		t.AddRow(key, c.Members, c.MedianTotalPkts, c.HighBogonShare, c.HighInvalidShare, c.CleanMembers)
+	}
+	b.WriteString(t.Render())
+	b.WriteString("(paper: hosters/ISPs dominate the >1% shares; content providers are mostly clean)\n")
+	return b.String()
+}
+
+// Figure7Result is the stray-router analysis of §5.2 / Figure 7.
+type Figure7Result struct {
+	MembersWithInvalid int
+	// RouterDominated members have >= 50% of Invalid packets from router
+	// sources and are removed from further member-level analysis.
+	RouterDominated         int
+	InvalidMemberFracBefore float64
+	InvalidMemberFracAfter  float64
+	// RouterShareOfInvalid is the overall packet share of router sources
+	// inside Invalid (paper: < 1%).
+	RouterShareOfInvalid float64
+	// Mix of stray-router traffic by protocol.
+	StrayICMPFrac, StrayUDPFrac, StrayTCPFrac float64
+}
+
+// Figure7 applies the >= 50%-router-IP member filter.
+func Figure7(env *Env) *Figure7Result {
+	r := &Figure7Result{}
+	totalMembers := len(env.Scenario.Members)
+	var routerPkts, invalidPkts uint64
+	for _, m := range env.Agg.Members() {
+		inv := m.ByClass[core.TCInvalidFull].Packets
+		if inv == 0 {
+			continue
+		}
+		r.MembersWithInvalid++
+		invalidPkts += inv
+		routerPkts += m.RouterIPInvalid
+		if float64(m.RouterIPInvalid) >= 0.5*float64(inv) {
+			r.RouterDominated++
+		}
+	}
+	r.InvalidMemberFracBefore = float64(r.MembersWithInvalid) / float64(totalMembers)
+	r.InvalidMemberFracAfter = float64(r.MembersWithInvalid-r.RouterDominated) / float64(totalMembers)
+	if invalidPkts > 0 {
+		r.RouterShareOfInvalid = float64(routerPkts) / float64(invalidPkts)
+	}
+
+	// Protocol mix of router-sourced Invalid traffic.
+	var icmp, udp, tcp uint64
+	for _, f := range env.Flows {
+		v := env.Pipeline.Classify(f)
+		if !v.InvalidFor(core.ApproachFull) || !v.RouterIP {
+			continue
+		}
+		switch f.Protocol {
+		case 1:
+			icmp += f.Packets
+		case 17:
+			udp += f.Packets
+		case 6:
+			tcp += f.Packets
+		}
+	}
+	if tot := icmp + udp + tcp; tot > 0 {
+		r.StrayICMPFrac = float64(icmp) / float64(tot)
+		r.StrayUDPFrac = float64(udp) / float64(tot)
+		r.StrayTCPFrac = float64(tcp) / float64(tot)
+	}
+	return r
+}
+
+// Render prints the stray-traffic cleanup.
+func (r *Figure7Result) Render() string {
+	return fmt.Sprintf(`Figure 7 / §5.2 — stray router traffic
+members with Invalid traffic:            %d (%s of members)
+router-IP-dominated (>=50%%), removed:    %d
+members with Invalid after removal:      %s of members
+router-IP share of Invalid packets:      %s
+stray mix: ICMP %s, UDP %s, TCP %s
+(paper: 57.68%% -> 39.59%% of members; router share < 1%%; mix 83/14.4/2.3)
+`, r.MembersWithInvalid, stats.Percent(r.InvalidMemberFracBefore),
+		r.RouterDominated, stats.Percent(r.InvalidMemberFracAfter),
+		stats.Percent(r.RouterShareOfInvalid),
+		stats.Percent(r.StrayICMPFrac), stats.Percent(r.StrayUDPFrac), stats.Percent(r.StrayTCPFrac))
+}

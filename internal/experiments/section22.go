@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"spoofscope/internal/survey"
+)
+
+// Section22 runs the §2.2 operator survey over the scenario's members: 84
+// target responses as in the paper, answers derived from ground-truth
+// filtering policies with the paper's acknowledged response bias.
+func Section22(env *Env) *survey.Summary {
+	target := 84
+	if target > len(env.Scenario.Members) {
+		target = len(env.Scenario.Members) / 2
+	}
+	return survey.Conduct(env.Scenario, target, env.Scenario.Cfg.Seed+3).Summarize()
+}

@@ -1,0 +1,115 @@
+package ipfix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// FileWriter streams flows into an IPFIX file (concatenated messages).
+type FileWriter struct {
+	w   *bufio.Writer
+	enc *Encoder
+	err error
+}
+
+// NewFileWriter returns a writer exporting under the given domain ID.
+func NewFileWriter(w io.Writer, domain uint32) *FileWriter {
+	return &FileWriter{w: bufio.NewWriterSize(w, 1<<16), enc: NewEncoder(domain)}
+}
+
+// Write appends flows, framing them into messages stamped exportTime.
+func (fw *FileWriter) Write(exportTime time.Time, flows []Flow) error {
+	if fw.err != nil {
+		return fw.err
+	}
+	for _, msg := range fw.enc.Encode(exportTime, flows) {
+		if _, err := fw.w.Write(msg); err != nil {
+			fw.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered data.
+func (fw *FileWriter) Flush() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	return fw.w.Flush()
+}
+
+// FileReader reads an IPFIX file written by FileWriter (or any stream of
+// concatenated IPFIX messages).
+type FileReader struct {
+	r   *bufio.Reader
+	dec *Decoder
+	buf []Flow
+}
+
+// NewFileReader returns a reader over r.
+func NewFileReader(r io.Reader) *FileReader {
+	return &FileReader{r: bufio.NewReaderSize(r, 1<<16), dec: NewDecoder()}
+}
+
+// NextBatch returns the flows of the next message containing data records.
+// It returns io.EOF at end of stream. The returned slice is reused across
+// calls; copy it to retain.
+func (fr *FileReader) NextBatch() ([]Flow, error) {
+	for {
+		var hdr [msgHeaderLen]byte
+		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("ipfix: truncated message: %w", err)
+			}
+			return nil, err
+		}
+		total := int(binary.BigEndian.Uint16(hdr[2:]))
+		if total < msgHeaderLen {
+			return nil, fmt.Errorf("ipfix: bad message length %d", total)
+		}
+		msg := make([]byte, total)
+		copy(msg, hdr[:])
+		if _, err := io.ReadFull(fr.r, msg[msgHeaderLen:]); err != nil {
+			return nil, fmt.Errorf("ipfix: truncated message body: %w", err)
+		}
+		fr.buf = fr.buf[:0]
+		var err error
+		fr.buf, err = fr.dec.Decode(msg, fr.buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(fr.buf) > 0 {
+			return fr.buf, nil
+		}
+		// Template-only message: keep reading.
+	}
+}
+
+// ForEach streams every flow in the file through fn. It stops early if fn
+// returns false.
+func (fr *FileReader) ForEach(fn func(Flow) bool) error {
+	for {
+		batch, err := fr.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, f := range batch {
+			if !fn(f) {
+				return nil
+			}
+		}
+	}
+}
+
+// Stats exposes decoder statistics.
+func (fr *FileReader) Stats() (messages, decoded, skipped int) {
+	return fr.dec.Messages, fr.dec.RecordsDecoded, fr.dec.RecordsSkipped
+}

@@ -1,0 +1,142 @@
+package ipfix
+
+import (
+	"container/list"
+	"time"
+
+	"spoofscope/internal/netx"
+)
+
+// FlowKey identifies a unidirectional flow at the vantage point: the
+// 5-tuple plus the ingress port (two members may forward the same spoofed
+// 5-tuple).
+type FlowKey struct {
+	SrcAddr, DstAddr netx.Addr
+	SrcPort, DstPort uint16
+	Protocol         uint8
+	Ingress          uint32
+}
+
+// KeyOf extracts a flow's key.
+func KeyOf(f *Flow) FlowKey {
+	return FlowKey{
+		SrcAddr: f.SrcAddr, DstAddr: f.DstAddr,
+		SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Protocol: f.Protocol, Ingress: f.Ingress,
+	}
+}
+
+// FlowCache merges sampled packets of the same flow into flow records, the
+// way an IXP's metering process builds IPFIX flow summaries from sampled
+// packets. Records are emitted when idle longer than the timeout (in event
+// time, driven by the timestamps of arriving packets), or when the cache
+// overflows (least-recently-touched first), or at Flush.
+type FlowCache struct {
+	idle time.Duration
+	max  int
+	emit func(Flow)
+
+	entries map[FlowKey]*list.Element
+	lru     *list.List // front = most recently touched
+	// clock is the largest Start seen; eviction is event-time based so
+	// replayed traces behave identically to live ones.
+	clock time.Time
+
+	// Stats.
+	Merged, Emitted, Overflowed uint64
+}
+
+type cacheEntry struct {
+	key  FlowKey
+	flow Flow
+	last time.Time // timestamp of the latest merged packet
+}
+
+// NewFlowCache builds a cache. idle defaults to 30s, maxEntries to 65536.
+func NewFlowCache(idle time.Duration, maxEntries int, emit func(Flow)) *FlowCache {
+	if idle <= 0 {
+		idle = 30 * time.Second
+	}
+	if maxEntries <= 0 {
+		maxEntries = 65536
+	}
+	return &FlowCache{
+		idle:    idle,
+		max:     maxEntries,
+		emit:    emit,
+		entries: make(map[FlowKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of active flows.
+func (c *FlowCache) Len() int { return len(c.entries) }
+
+// Add merges one sampled observation (a Flow with the counts of the
+// sampled packet(s)).
+func (c *FlowCache) Add(f Flow) {
+	if f.Start.After(c.clock) {
+		c.clock = f.Start
+	}
+	key := KeyOf(&f)
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		// Same flow, still active?
+		if f.Start.Sub(e.last) <= c.idle && e.last.Sub(f.Start) <= c.idle {
+			e.flow.Packets += f.Packets
+			e.flow.Bytes += f.Bytes
+			e.flow.TCPFlags |= f.TCPFlags
+			if f.Start.Before(e.flow.Start) {
+				e.flow.Start = f.Start
+			}
+			if f.Start.After(e.last) {
+				e.last = f.Start
+			}
+			c.lru.MoveToFront(el)
+			c.Merged++
+			c.expire()
+			return
+		}
+		// Idle gap: emit the old record and start a new one.
+		c.emitEntry(el)
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, flow: f, last: f.Start})
+	c.entries[key] = el
+	if len(c.entries) > c.max {
+		c.Overflowed++
+		c.emitEntry(c.lru.Back())
+	}
+	c.expire()
+}
+
+// expire emits entries idle past the timeout relative to the event clock.
+func (c *FlowCache) expire() {
+	for {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		if c.clock.Sub(e.last) <= c.idle {
+			return
+		}
+		c.emitEntry(el)
+	}
+}
+
+func (c *FlowCache) emitEntry(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	delete(c.entries, e.key)
+	c.lru.Remove(el)
+	c.Emitted++
+	if c.emit != nil {
+		c.emit(e.flow)
+	}
+}
+
+// Flush emits every active flow (end of trace / shutdown), oldest first.
+func (c *FlowCache) Flush() {
+	for c.lru.Back() != nil {
+		c.emitEntry(c.lru.Back())
+	}
+}

@@ -1,0 +1,145 @@
+package ipfix
+
+import (
+	"testing"
+	"time"
+
+	"spoofscope/internal/netx"
+)
+
+func cacheFlow(start time.Time, srcPort uint16) Flow {
+	return Flow{
+		Start:    start,
+		SrcAddr:  netx.MustParseAddr("192.0.2.1"),
+		DstAddr:  netx.MustParseAddr("198.51.100.1"),
+		SrcPort:  srcPort,
+		DstPort:  80,
+		Protocol: ProtoTCP,
+		Packets:  1,
+		Bytes:    100,
+		Ingress:  5,
+	}
+}
+
+func TestFlowCacheMerges(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(time.Minute, 100, func(f Flow) { out = append(out, f) })
+	base := t0
+	for i := 0; i < 5; i++ {
+		f := cacheFlow(base.Add(time.Duration(i)*time.Second), 1000)
+		f.TCPFlags = 1 << i
+		c.Add(f)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("active flows = %d", c.Len())
+	}
+	c.Flush()
+	if len(out) != 1 {
+		t.Fatalf("emitted = %d", len(out))
+	}
+	got := out[0]
+	if got.Packets != 5 || got.Bytes != 500 {
+		t.Fatalf("counts: %d pkts %d bytes", got.Packets, got.Bytes)
+	}
+	if got.TCPFlags != 0b11111 {
+		t.Fatalf("flags = %b", got.TCPFlags)
+	}
+	if !got.Start.Equal(base) {
+		t.Fatalf("start = %v", got.Start)
+	}
+	if c.Merged != 4 || c.Emitted != 1 {
+		t.Fatalf("stats: merged=%d emitted=%d", c.Merged, c.Emitted)
+	}
+}
+
+func TestFlowCacheDistinctKeys(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(time.Minute, 100, func(f Flow) { out = append(out, f) })
+	c.Add(cacheFlow(t0, 1000))
+	c.Add(cacheFlow(t0, 1001)) // different source port
+	g := cacheFlow(t0, 1000)
+	g.Ingress = 6 // same 5-tuple, different member
+	c.Add(g)
+	if c.Len() != 3 {
+		t.Fatalf("active flows = %d", c.Len())
+	}
+	c.Flush()
+	if len(out) != 3 {
+		t.Fatalf("emitted = %d", len(out))
+	}
+}
+
+func TestFlowCacheIdleTimeout(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(10*time.Second, 100, func(f Flow) { out = append(out, f) })
+	c.Add(cacheFlow(t0, 1000))
+	// A later packet of a DIFFERENT flow advances the event clock far
+	// enough to expire the first.
+	c.Add(cacheFlow(t0.Add(time.Minute), 2000))
+	if len(out) != 1 {
+		t.Fatalf("idle flow not expired: emitted=%d active=%d", len(out), c.Len())
+	}
+	// A new packet of the first flow after the gap starts a fresh record.
+	c.Add(cacheFlow(t0.Add(2*time.Minute), 1000))
+	c.Flush()
+	if len(out) != 3 {
+		t.Fatalf("emitted = %d, want 3 (split across the gap)", len(out))
+	}
+}
+
+func TestFlowCacheSameKeyGapSplits(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(10*time.Second, 100, func(f Flow) { out = append(out, f) })
+	c.Add(cacheFlow(t0, 1000))
+	c.Add(cacheFlow(t0.Add(time.Hour), 1000)) // same key, huge gap
+	c.Flush()
+	if len(out) != 2 {
+		t.Fatalf("emitted = %d, want 2", len(out))
+	}
+	if out[0].Packets != 1 || out[1].Packets != 1 {
+		t.Fatal("gap merge happened")
+	}
+}
+
+func TestFlowCacheOverflowEvictsLRU(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(time.Hour, 3, func(f Flow) { out = append(out, f) })
+	for i := 0; i < 4; i++ {
+		c.Add(cacheFlow(t0.Add(time.Duration(i)*time.Second), uint16(1000+i)))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("active = %d, want cap 3", c.Len())
+	}
+	if c.Overflowed != 1 || len(out) != 1 {
+		t.Fatalf("overflow eviction: overflowed=%d emitted=%d", c.Overflowed, len(out))
+	}
+	// The evicted record is the least recently touched (port 1000).
+	if out[0].SrcPort != 1000 {
+		t.Fatalf("evicted port %d, want 1000", out[0].SrcPort)
+	}
+}
+
+func TestFlowCacheDefaults(t *testing.T) {
+	c := NewFlowCache(0, 0, nil)
+	c.Add(cacheFlow(t0, 1))
+	c.Flush() // nil emit must not panic
+	if c.Emitted != 1 {
+		t.Fatalf("emitted = %d", c.Emitted)
+	}
+}
+
+func TestFlowCacheMildReordering(t *testing.T) {
+	var out []Flow
+	c := NewFlowCache(time.Minute, 100, func(f Flow) { out = append(out, f) })
+	// Packets of one flow arrive slightly out of order.
+	c.Add(cacheFlow(t0.Add(5*time.Second), 1000))
+	c.Add(cacheFlow(t0, 1000))
+	c.Add(cacheFlow(t0.Add(3*time.Second), 1000))
+	c.Flush()
+	if len(out) != 1 {
+		t.Fatalf("emitted = %d, want 1 merged flow", len(out))
+	}
+	if out[0].Packets != 3 || !out[0].Start.Equal(t0) {
+		t.Fatalf("merged = %+v", out[0])
+	}
+}

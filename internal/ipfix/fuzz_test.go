@@ -1,0 +1,29 @@
+package ipfix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds mutated and random messages to the decoder;
+// only panics (caught by the runtime) fail the test.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	enc := NewEncoder(3)
+	msgs := enc.Encode(t0, []Flow{sampleFlow(0), sampleFlow(1)})
+	for _, valid := range msgs {
+		for i := 0; i < 4000; i++ {
+			b := append([]byte(nil), valid...)
+			for k := rng.Intn(4) + 1; k > 0; k-- {
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			}
+			dec := NewDecoder()
+			dec.Decode(b, nil) //nolint:errcheck — only panics matter
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(120))
+		rng.Read(b)
+		NewDecoder().Decode(b, nil) //nolint:errcheck
+	}
+}

@@ -1,0 +1,121 @@
+package ipfix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// TCPExporter streams IPFIX messages over a TCP connection (RFC 7011 §10.4:
+// stream transports carry messages back to back; the length field frames
+// them). Unlike UDP, templates need to be sent only once.
+type TCPExporter struct {
+	conn net.Conn
+	w    *bufio.Writer
+	enc  *Encoder
+}
+
+// DialTCP connects an exporter to a TCP collector.
+func DialTCP(addr string, domain uint32) (*TCPExporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: dialing %q: %w", addr, err)
+	}
+	return &TCPExporter{
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, 1<<16),
+		enc:  NewEncoder(domain),
+	}, nil
+}
+
+// Export appends flows to the stream.
+func (e *TCPExporter) Export(exportTime time.Time, flows []Flow) error {
+	for _, msg := range e.enc.Encode(exportTime, flows) {
+		if _, err := e.w.Write(msg); err != nil {
+			return err
+		}
+	}
+	return e.w.Flush()
+}
+
+// Close flushes and closes the connection.
+func (e *TCPExporter) Close() error {
+	if err := e.w.Flush(); err != nil {
+		e.conn.Close()
+		return err
+	}
+	return e.conn.Close()
+}
+
+// TCPCollector accepts exporter connections and decodes their streams.
+type TCPCollector struct {
+	ln net.Listener
+}
+
+// ListenTCP binds a collector.
+func ListenTCP(addr string) (*TCPCollector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: listening on %q: %w", addr, err)
+	}
+	return &TCPCollector{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (c *TCPCollector) Addr() net.Addr { return c.ln.Addr() }
+
+// AcceptOne accepts a single exporter connection and streams its flows
+// through fn until the exporter closes or fn returns false. It returns the
+// number of flows delivered.
+func (c *TCPCollector) AcceptOne(fn func(Flow) bool) (int, error) {
+	conn, err := c.ln.Accept()
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	return serveStream(conn, fn)
+}
+
+// Close stops accepting connections.
+func (c *TCPCollector) Close() error { return c.ln.Close() }
+
+// serveStream decodes back-to-back IPFIX messages from a byte stream.
+func serveStream(r io.Reader, fn func(Flow) bool) (int, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	dec := NewDecoder()
+	var flows []Flow
+	n := 0
+	for {
+		var hdr [msgHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, err
+		}
+		total := int(binary.BigEndian.Uint16(hdr[2:]))
+		if total < msgHeaderLen {
+			return n, fmt.Errorf("ipfix: bad stream message length %d", total)
+		}
+		msg := make([]byte, total)
+		copy(msg, hdr[:])
+		if _, err := io.ReadFull(br, msg[msgHeaderLen:]); err != nil {
+			return n, err
+		}
+		flows = flows[:0]
+		var err error
+		flows, err = dec.Decode(msg, flows)
+		if err != nil {
+			return n, err
+		}
+		for _, f := range flows {
+			n++
+			if !fn(f) {
+				return n, nil
+			}
+		}
+	}
+}

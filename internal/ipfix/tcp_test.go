@@ -1,0 +1,77 @@
+package ipfix
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTCPExportCollect(t *testing.T) {
+	col, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	want := make([]Flow, 120)
+	for i := range want {
+		want[i] = sampleFlow(i)
+	}
+
+	go func() {
+		exp, err := DialTCP(col.Addr().String(), 9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Two batches over one connection: the template goes once.
+		if err := exp.Export(t0, want[:50]); err != nil {
+			t.Error(err)
+		}
+		if err := exp.Export(t0, want[50:]); err != nil {
+			t.Error(err)
+		}
+		exp.Close()
+	}()
+
+	var got []Flow
+	n, err := col.AcceptOne(func(f Flow) bool {
+		got = append(got, f)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("delivered %d of %d flows", n, len(want))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("TCP round trip mismatch")
+	}
+}
+
+func TestTCPCollectorEarlyStop(t *testing.T) {
+	col, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	go func() {
+		exp, err := DialTCP(col.Addr().String(), 1)
+		if err != nil {
+			return
+		}
+		defer exp.Close()
+		flows := make([]Flow, 100)
+		for i := range flows {
+			flows[i] = sampleFlow(i)
+		}
+		exp.Export(t0, flows)
+	}()
+	n, err := col.AcceptOne(func(Flow) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early stop delivered %d flows", n)
+	}
+}

@@ -1,0 +1,114 @@
+package ipfix
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// UDPExporter sends IPFIX messages to a collector over UDP, re-sending the
+// template periodically as RFC 7011 §8.1 requires for unreliable transports.
+type UDPExporter struct {
+	conn *net.UDPConn
+	enc  *Encoder
+	// TemplateEvery controls template retransmission (default: every 20
+	// data messages).
+	TemplateEvery int
+	sinceTemplate int
+}
+
+// DialUDP connects an exporter to addr (e.g. "127.0.0.1:4739").
+func DialUDP(addr string, domain uint32) (*UDPExporter, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: resolving %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: dialing %q: %w", addr, err)
+	}
+	return &UDPExporter{conn: conn, enc: NewEncoder(domain), TemplateEvery: 20}, nil
+}
+
+// Export sends flows, preceded by the template when due.
+func (e *UDPExporter) Export(exportTime time.Time, flows []Flow) error {
+	if e.sinceTemplate >= e.TemplateEvery {
+		if _, err := e.conn.Write(e.enc.TemplateMessage(exportTime)); err != nil {
+			return err
+		}
+		e.sinceTemplate = 0
+	}
+	for _, msg := range e.enc.Encode(exportTime, flows) {
+		if _, err := e.conn.Write(msg); err != nil {
+			return err
+		}
+		e.sinceTemplate++
+	}
+	return nil
+}
+
+// Close closes the underlying socket.
+func (e *UDPExporter) Close() error { return e.conn.Close() }
+
+// UDPCollector receives IPFIX messages on a UDP socket and hands decoded
+// flows to a callback.
+type UDPCollector struct {
+	conn *net.UDPConn
+	dec  *Decoder
+}
+
+// ListenUDP binds a collector to addr. Use port 0 for an ephemeral port and
+// Addr() to discover it.
+func ListenUDP(addr string) (*UDPCollector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("ipfix: listening on %q: %w", addr, err)
+	}
+	return &UDPCollector{conn: conn, dec: NewDecoder()}, nil
+}
+
+// Addr returns the bound address.
+func (c *UDPCollector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Serve reads datagrams until the socket is closed or the deadline passes,
+// invoking fn for every decoded flow. Malformed datagrams are counted and
+// skipped. It returns the number of malformed datagrams.
+func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, err error) {
+	if !deadline.IsZero() {
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, 65536)
+	var flows []Flow
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return malformed, nil
+			}
+			return malformed, err
+		}
+		batch, derr := c.dec.Decode(buf[:n], flows[:0])
+		if derr != nil {
+			malformed++
+			continue
+		}
+		flows = batch // reuse the grown buffer across datagrams
+		for _, f := range batch {
+			fn(f)
+		}
+	}
+}
+
+// Close closes the socket, unblocking Serve.
+func (c *UDPCollector) Close() error { return c.conn.Close() }
+
+// Stats exposes decoder statistics.
+func (c *UDPCollector) Stats() (messages, decoded, skipped int) {
+	return c.dec.Messages, c.dec.RecordsDecoded, c.dec.RecordsSkipped
+}

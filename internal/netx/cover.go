@@ -1,0 +1,41 @@
+package netx
+
+import "math/bits"
+
+// Prefixes returns the minimal CIDR cover of the set: the shortest list of
+// prefixes whose union is exactly the set. This is the canonical
+// "interval set to router ACL" conversion (greedy largest-aligned-block).
+func (s IntervalSet) Prefixes() []Prefix {
+	var out []Prefix
+	for _, iv := range s.ivs {
+		out = appendCover(out, uint64(iv.Lo), uint64(iv.Hi))
+	}
+	return out
+}
+
+// appendCover emits the minimal prefixes covering [lo, hi] (inclusive,
+// 64-bit arithmetic avoids overflow at 255.255.255.255).
+func appendCover(out []Prefix, lo, hi uint64) []Prefix {
+	for lo <= hi {
+		// The largest block starting at lo: limited by lo's alignment and
+		// by the remaining span.
+		align := uint(bits.TrailingZeros64(lo))
+		if lo == 0 {
+			align = 32
+		}
+		if align > 32 {
+			align = 32
+		}
+		span := hi - lo + 1
+		size := uint(bits.Len64(span)) - 1 // floor(log2(span))
+		if align < size {
+			size = align
+		}
+		out = append(out, Prefix{Addr: Addr(lo), Bits: uint8(32 - size)})
+		lo += 1 << size
+		if lo == 0 {
+			break // wrapped past 255.255.255.255
+		}
+	}
+	return out
+}

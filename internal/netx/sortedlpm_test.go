@@ -1,0 +1,104 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSortedLPMBasic(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("10.1.2.0/24"),
+	}
+	s := NewSortedLPM(ps, []uint32{8, 16, 24})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct {
+		addr string
+		want uint32
+		ok   bool
+	}{
+		{"10.1.2.3", 24, true},
+		{"10.1.3.3", 16, true},
+		{"10.2.0.1", 8, true},
+		{"11.0.0.1", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Lookup(%s) = %d,%v want %d,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSortedLPMDuplicateOverride(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/24")
+	s := NewSortedLPM([]Prefix{p, p}, []uint32{1, 2})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if v, _ := s.Lookup(MustParseAddr("192.0.2.9")); v != 2 {
+		t.Fatalf("duplicate override broken: %d", v)
+	}
+}
+
+func TestSortedLPMDefaultRoute(t *testing.T) {
+	s := NewSortedLPM([]Prefix{PrefixFrom(0, 0)}, []uint32{7})
+	if v, ok := s.Lookup(MustParseAddr("203.0.113.1")); !ok || v != 7 {
+		t.Fatalf("default route: %d %v", v, ok)
+	}
+}
+
+func TestSortedLPMEmpty(t *testing.T) {
+	s := NewSortedLPM(nil, nil)
+	if s.Contains(MustParseAddr("1.2.3.4")) {
+		t.Fatal("empty table matched")
+	}
+}
+
+func TestSortedLPMPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not rejected")
+		}
+	}()
+	NewSortedLPM([]Prefix{PrefixFrom(0, 0)}, nil)
+}
+
+// TestSortedLPMMatchesTrie cross-checks the two LPM implementations on
+// random tables and probes — each validates the other.
+func TestSortedLPMMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 30; iter++ {
+		n := rng.Intn(300) + 1
+		ps := make([]Prefix, n)
+		vs := make([]uint32, n)
+		tr := NewTrie()
+		for i := 0; i < n; i++ {
+			ps[i] = PrefixFrom(Addr(rng.Uint32()), uint8(rng.Intn(33)))
+			vs[i] = rng.Uint32()
+			tr.Insert(ps[i], vs[i])
+		}
+		sorted := NewSortedLPM(ps, vs)
+		lpm := tr.Freeze()
+		if sorted.Len() != lpm.Len() {
+			t.Fatalf("size mismatch: sorted %d vs trie %d", sorted.Len(), lpm.Len())
+		}
+		for probe := 0; probe < 3000; probe++ {
+			var a Addr
+			if probe%2 == 0 {
+				p := ps[rng.Intn(n)]
+				a = p.First() + Addr(rng.Uint64()%p.NumAddrs())
+			} else {
+				a = Addr(rng.Uint32())
+			}
+			v1, ok1 := sorted.Lookup(a)
+			v2, ok2 := lpm.Lookup(a)
+			if v1 != v2 || ok1 != ok2 {
+				t.Fatalf("divergence at %v: sorted %d,%v trie %d,%v", a, v1, ok1, v2, ok2)
+			}
+		}
+	}
+}

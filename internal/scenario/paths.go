@@ -1,0 +1,37 @@
+package scenario
+
+// TrafficPath returns the ground-truth AS-level forwarding path (dense
+// indices, source first) that traffic from the AS at index 'from' takes
+// toward the announced space of AS 'to', or nil if 'from' has no route.
+// Traffic follows the reverse of the best valley-free announcement path.
+func (s *Scenario) TrafficPath(from, to int) []int {
+	rt := s.treeFor(to)
+	if rt.class[from] == classNone && from != to {
+		return nil
+	}
+	var out []int
+	for x := from; ; {
+		out = append(out, x)
+		if x == to {
+			return out
+		}
+		nx := rt.next[x]
+		if nx < 0 || len(out) > len(s.topo.ases) {
+			return nil
+		}
+		x = int(nx)
+	}
+}
+
+// treeFor caches full-export routing trees by origin.
+func (s *Scenario) treeFor(origin int) *routeTree {
+	if s.treeCache == nil {
+		s.treeCache = make(map[int]*routeTree)
+	}
+	if rt, ok := s.treeCache[origin]; ok {
+		return rt
+	}
+	rt := s.topo.propagate(origin, nil)
+	s.treeCache[origin] = rt
+	return rt
+}

@@ -1,0 +1,235 @@
+// Package survey models the network-operator questionnaire of §2.2: 84
+// responses across operator mailing lists about spoofing impact and
+// filtering practices. The synthetic respondents are drawn from the
+// scenario's member networks (plus outside networks), and their answers
+// derive from their ground-truth filtering policies with self-reporting
+// noise — respondents who deploy some filtering are over-represented, the
+// bias the paper itself flags ("our sample is unavoidably biased by
+// operators who already took some measures").
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/scenario"
+	"spoofscope/internal/stats"
+)
+
+// IngressPolicy is a §2.2 ingress-filtering answer.
+type IngressPolicy int
+
+// Ingress filtering answers.
+const (
+	IngressNone IngressPolicy = iota
+	IngressStaticBogons
+	IngressCustomerSpecific
+)
+
+// EgressPolicy is a §2.2 egress-filtering answer.
+type EgressPolicy int
+
+// Egress filtering answers.
+const (
+	EgressNone EgressPolicy = iota
+	EgressStaticBogons
+	EgressCustomerSpecific
+)
+
+// Response is one operator's questionnaire.
+type Response struct {
+	ASN  bgp.ASN
+	Type scenario.BusinessType
+
+	SufferedSpoofingAttack bool
+	SendsComplaints        bool
+	ChecksSourceValidity   bool
+
+	Ingress IngressPolicy
+	Egress  EgressPolicy
+	// FiltersOwnOrigin: does the network filter traffic originated inside
+	// its own network before the egress router?
+	FiltersOwnOrigin bool
+
+	// Free-text-ish obstacles, from the paper's catalogue.
+	Obstacles []string
+}
+
+// obstacleCatalogue is the set of §2.2 reasons for not filtering.
+var obstacleCatalogue = []string{
+	"risk of dropping paying customers' legitimate traffic",
+	"maintaining peer-specific filter lists is out of reach",
+	"strict RPF breaks under asymmetric routing / multihoming",
+	"equipment lacks proper RPF support",
+	"no direct economic benefit from running a clean network",
+	"spoofed traffic is a negligible share of transported volume",
+}
+
+// Dataset is a survey campaign.
+type Dataset struct {
+	Responses []Response
+}
+
+// Conduct simulates circulating the questionnaire: ~targetResponses
+// members answer, with response probability skewed toward networks that
+// already filter (the paper's acknowledged bias).
+func Conduct(s *scenario.Scenario, targetResponses int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	order := rng.Perm(len(s.Members))
+	for _, i := range order {
+		if len(d.Responses) >= targetResponses {
+			break
+		}
+		m := &s.Members[i]
+		filters := !m.EmitsUnrouted && !m.EmitsInvalid
+		// Response bias: filtering operators answer at ~2x the rate.
+		pAnswer := 0.35
+		if filters {
+			pAnswer = 0.7
+		}
+		if rng.Float64() > pAnswer {
+			continue
+		}
+		r := Response{ASN: m.ASN, Type: m.Type}
+
+		// Impact: most respondents have suffered spoofing-enabled attacks.
+		r.SufferedSpoofingAttack = rng.Float64() < 0.72
+		r.SendsComplaints = r.SufferedSpoofingAttack && rng.Float64() < 0.7
+		r.ChecksSourceValidity = filters || rng.Float64() < 0.35
+
+		// Ingress: static bogon filtering is widespread; customer-specific
+		// filters are rare.
+		switch v := rng.Float64(); {
+		case v < 0.07:
+			r.Ingress = IngressNone
+		case v < 0.78:
+			r.Ingress = IngressStaticBogons
+		default:
+			r.Ingress = IngressCustomerSpecific
+		}
+		// Egress derives from ground truth: a member that leaks nothing
+		// has working egress filtering.
+		switch {
+		case filters && !m.EmitsBogon:
+			r.Egress = EgressCustomerSpecific
+		case filters:
+			r.Egress = EgressCustomerSpecific
+		case !m.EmitsBogon:
+			r.Egress = EgressStaticBogons
+		default:
+			r.Egress = EgressNone
+		}
+		r.FiltersOwnOrigin = filters && rng.Float64() < 0.9
+
+		// Non-filtering operators cite obstacles.
+		if !filters {
+			n := 1 + rng.Intn(3)
+			perm := rng.Perm(len(obstacleCatalogue))
+			for k := 0; k < n; k++ {
+				r.Obstacles = append(r.Obstacles, obstacleCatalogue[perm[k]])
+			}
+		}
+		d.Responses = append(d.Responses, r)
+	}
+	return d
+}
+
+// Summary aggregates the §2.2 statistics.
+type Summary struct {
+	Responses               int
+	SufferedFrac            float64
+	ComplainsFrac           float64
+	NoValidityCheckFrac     float64
+	IngressNoneFrac         float64
+	IngressStaticFrac       float64
+	IngressCustomerFrac     float64
+	EgressNoneFrac          float64
+	EgressStaticFrac        float64
+	EgressCustomerFrac      float64
+	FiltersOwnOriginFrac    float64
+	TopObstacle             string
+	TopObstacleRespondents  int
+	DistinctBusinessTypes   int
+	respondentsPerObstacles map[string]int
+}
+
+// Summarize computes the headline fractions.
+func (d *Dataset) Summarize() *Summary {
+	s := &Summary{
+		Responses:               len(d.Responses),
+		respondentsPerObstacles: make(map[string]int),
+	}
+	if s.Responses == 0 {
+		return s
+	}
+	types := map[scenario.BusinessType]bool{}
+	n := float64(s.Responses)
+	for _, r := range d.Responses {
+		types[r.Type] = true
+		if r.SufferedSpoofingAttack {
+			s.SufferedFrac += 1 / n
+		}
+		if r.SendsComplaints {
+			s.ComplainsFrac += 1 / n
+		}
+		if !r.ChecksSourceValidity {
+			s.NoValidityCheckFrac += 1 / n
+		}
+		switch r.Ingress {
+		case IngressNone:
+			s.IngressNoneFrac += 1 / n
+		case IngressStaticBogons:
+			s.IngressStaticFrac += 1 / n
+		default:
+			s.IngressCustomerFrac += 1 / n
+		}
+		switch r.Egress {
+		case EgressNone:
+			s.EgressNoneFrac += 1 / n
+		case EgressStaticBogons:
+			s.EgressStaticFrac += 1 / n
+		default:
+			s.EgressCustomerFrac += 1 / n
+		}
+		if r.FiltersOwnOrigin {
+			s.FiltersOwnOriginFrac += 1 / n
+		}
+		for _, o := range r.Obstacles {
+			s.respondentsPerObstacles[o]++
+		}
+	}
+	s.DistinctBusinessTypes = len(types)
+	for o, c := range s.respondentsPerObstacles {
+		if c > s.TopObstacleRespondents ||
+			(c == s.TopObstacleRespondents && o < s.TopObstacle) {
+			s.TopObstacle = o
+			s.TopObstacleRespondents = c
+		}
+	}
+	return s
+}
+
+// Render prints the §2.2-style report.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§2.2 — operator survey (%d responses, %d business types)\n",
+		s.Responses, s.DistinctBusinessTypes)
+	t := &stats.Table{Header: []string{"question", "share", "paper"}}
+	t.AddRow("suffered spoofing-enabled attacks", stats.Percent(s.SufferedFrac), ">70%")
+	t.AddRow("send complaints to peers", stats.Percent(s.ComplainsFrac), "50%")
+	t.AddRow("do not check source validity", stats.Percent(s.NoValidityCheckFrac), "24%")
+	t.AddRow("ingress: none", stats.Percent(s.IngressNoneFrac), "7%")
+	t.AddRow("ingress: static bogons", stats.Percent(s.IngressStaticFrac), "~70%")
+	t.AddRow("ingress: customer-specific", stats.Percent(s.IngressCustomerFrac), "20%")
+	t.AddRow("egress: none", stats.Percent(s.EgressNoneFrac), "24%")
+	t.AddRow("egress: static bogons only", stats.Percent(s.EgressStaticFrac), "~26%")
+	t.AddRow("egress: customer-specific", stats.Percent(s.EgressCustomerFrac), "~50%")
+	t.AddRow("filter own-origin traffic", stats.Percent(s.FiltersOwnOriginFrac), "65%")
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "most-cited obstacle: %q (%d respondents)\n",
+		s.TopObstacle, s.TopObstacleRespondents)
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package whois
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics: the RPSL parser must survive arbitrary text.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	fragments := []string{
+		"aut-num:", "AS", "import: from ", "export: to ", "route:",
+		"origin:", "organisation:", "org-name:", "admin-c:", "\n", ":",
+		"192.0.2.0/24", "ANY", "accept", "%", "garbage", " ",
+	}
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		for k := rng.Intn(30); k > 0; k-- {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte(byte(rng.Intn(128)))
+			}
+		}
+		Parse(strings.NewReader(b.String())) //nolint:errcheck — only panics matter
+	}
+}

@@ -1,0 +1,76 @@
+package whois
+
+import (
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/scenario"
+)
+
+// FromScenario populates a registry with the scenario's ground truth —
+// including the relationships that the BGP view misses: hidden peerings
+// (tunnels, private interconnects) appear as import/export policy lines,
+// and organisation objects carry contact handles.
+func FromScenario(s *scenario.Scenario) *Registry {
+	r := NewRegistry()
+
+	// Organisation objects.
+	for _, o := range s.Orgs().Orgs() {
+		r.AddOrganisation(Organisation{
+			ID:      o.ID,
+			Name:    o.Name,
+			Contact: "AC-" + o.ID,
+		})
+	}
+
+	// Aut-num objects: org reference + visible provider policies.
+	for i := 0; i < s.NumASes(); i++ {
+		a := s.ASInfo(i)
+		an := AutNum{ASN: a.ASN}
+		if o, ok := s.Orgs().OrgOf(a.ASN); ok {
+			an.OrgID = o.ID
+			an.Contact = "AC-" + o.ID
+		}
+		for _, p := range a.Providers {
+			an.Imports = append(an.Imports, s.ASInfo(p).ASN)
+			an.Exports = append(an.Exports, s.ASInfo(p).ASN)
+		}
+		r.AddAutNum(an)
+	}
+
+	// Hidden peerings: both sides publish policy lines naming each other,
+	// even though the link never shows up on AS paths.
+	for _, m := range s.Members {
+		if m.HiddenPeerAS < 0 {
+			continue
+		}
+		partner := s.ASInfo(m.HiddenPeerAS).ASN
+		addPolicy(r, m.ASN, partner)
+		addPolicy(r, partner, m.ASN)
+	}
+
+	// Route objects for every announced prefix.
+	for i := 0; i < s.NumASes(); i++ {
+		a := s.ASInfo(i)
+		orgID := ""
+		if o, ok := s.Orgs().OrgOf(a.ASN); ok {
+			orgID = o.ID
+		}
+		for _, p := range a.Announced {
+			r.AddRoute(Route{Prefix: p, Origin: a.ASN, OrgID: orgID})
+		}
+	}
+	return r
+}
+
+func addPolicy(r *Registry, a, b bgp.ASN) {
+	an, ok := r.AutNum(a)
+	if !ok {
+		an = AutNum{ASN: a}
+	}
+	if !containsASN(an.Imports, b) {
+		an.Imports = append(an.Imports, b)
+	}
+	if !containsASN(an.Exports, b) {
+		an.Exports = append(an.Exports, b)
+	}
+	r.AddAutNum(an)
+}

@@ -1,0 +1,229 @@
+package spoofscope
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newSmallSim(t *testing.T) *Simulation {
+	t.Helper()
+	sim, err := NewSimulation(SimulationSizeSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestSimulationClassifies(t *testing.T) {
+	sim := newSmallSim(t)
+	cls := sim.Classifier()
+	counts := map[Class]int{}
+	for _, f := range sim.Flows() {
+		counts[cls.Classify(f).Class]++
+	}
+	for _, c := range []Class{ClassValid, ClassBogon, ClassUnrouted, ClassInvalid} {
+		if counts[c] == 0 {
+			t.Errorf("class %v never produced", c)
+		}
+	}
+	if counts[ClassValid] < len(sim.Flows())/2 {
+		t.Error("valid traffic does not dominate")
+	}
+}
+
+func TestMRTAndIPFIXRoundTripThroughPublicAPI(t *testing.T) {
+	sim := newSmallSim(t)
+
+	var mrt, flows bytes.Buffer
+	if err := sim.WriteMRT(&mrt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GenerateTraffic(&flows); err != nil {
+		t.Fatal(err)
+	}
+
+	cls, err := NewClassifierFromMRT(&mrt, sim.Members(), ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := cls.ClassifyIPFIX(&flows, func(f Flow, v Verdict) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(sim.Flows()) {
+		t.Fatalf("classified %d of %d flows", n, len(sim.Flows()))
+	}
+}
+
+func TestGroundTruthAccessors(t *testing.T) {
+	sim := newSmallSim(t)
+	labels := sim.Labels()
+	if len(labels) != len(sim.Flows()) {
+		t.Fatal("labels/flows length mismatch")
+	}
+	spoofed := 0
+	for i := range labels {
+		if sim.GroundTruthSpoofed(i) {
+			spoofed++
+		}
+	}
+	if spoofed == 0 || spoofed > len(labels)/2 {
+		t.Fatalf("spoofed ground truth = %d of %d", spoofed, len(labels))
+	}
+}
+
+func TestDetectionQualityAgainstGroundTruth(t *testing.T) {
+	sim := newSmallSim(t)
+	cls := sim.Classifier()
+	labels := sim.Labels()
+	var tp, fn, fp, tn int
+	for i, f := range sim.Flows() {
+		v := cls.Classify(f)
+		flagged := v.Class == ClassBogon || v.Class == ClassUnrouted ||
+			v.InvalidFor(ApproachFull)
+		switch {
+		case sim.GroundTruthSpoofed(i) && flagged:
+			tp++
+		case sim.GroundTruthSpoofed(i) && !flagged:
+			fn++
+		default:
+			// Restrict the false-positive rate to genuinely legitimate
+			// traffic. Misconfiguration (bogon/unrouted leaks) and stray
+			// router traffic SHOULD be flagged, and hidden-peer traffic is
+			// the designed §4.4 false positive resolved via WHOIS.
+			switch labels[i] {
+			case "regular", "ntp-response":
+				if flagged {
+					fp++
+				} else {
+					tn++
+				}
+			}
+		}
+	}
+	recall := float64(tp) / float64(tp+fn)
+	// The Full Cone is deliberately conservative: the paper acknowledges
+	// that "significant portions of spoofed traffic remain undetected"
+	// because ~transit-scale members are valid sources for most of the
+	// routed space. Spoofed traffic entering via big members escapes.
+	if recall < 0.78 {
+		t.Errorf("spoofed-traffic recall = %.3f (tp=%d fn=%d)", recall, tp, fn)
+	}
+	fpRate := float64(fp) / float64(fp+tn)
+	if fpRate > 0.04 {
+		t.Errorf("legitimate-traffic flag rate = %.3f (fp=%d tn=%d)", fpRate, fp, tn)
+	}
+}
+
+func TestAllowSourceThroughFacade(t *testing.T) {
+	sim := newSmallSim(t)
+	cls := sim.Classifier()
+	members := sim.Members()
+	p, err := ParsePrefix("203.0.113.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.AllowSource(members[0].ASN, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := cls.AllowSource(9999999, p); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestFilterListFacade(t *testing.T) {
+	sim := newSmallSim(t)
+	cls := sim.Classifier()
+	members := sim.Members()
+	acl, err := cls.FilterList(members[0].ASN, ApproachFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acl) == 0 {
+		t.Fatal("empty ACL")
+	}
+	// The ACL admits exactly the member's FULL-valid routed sources: every
+	// flow the classifier calls valid from this member has an in-ACL
+	// source (ACL semantics for routed traffic).
+	set := map[Prefix]bool{}
+	for _, p := range acl {
+		set[p] = true
+	}
+	checked := 0
+	for _, f := range sim.Flows() {
+		if f.Ingress != members[0].Port || checked > 500 {
+			continue
+		}
+		v := cls.Classify(f)
+		if v.Class != ClassValid {
+			continue
+		}
+		checked++
+		covered := false
+		for _, p := range acl {
+			if p.Contains(f.SrcAddr) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("valid source %v outside the ACL", f.SrcAddr)
+		}
+	}
+	if checked == 0 {
+		t.Skip("member sent no valid traffic")
+	}
+}
+
+func TestDetectAttacksFacade(t *testing.T) {
+	sim := newSmallSim(t)
+	floods, campaigns := sim.Classifier().DetectAttacks(sim.Flows())
+	if len(floods) == 0 {
+		t.Fatal("no floods detected")
+	}
+	if len(campaigns) == 0 {
+		t.Fatal("no campaigns detected")
+	}
+	// Largest-first ordering.
+	for i := 1; i < len(floods); i++ {
+		if floods[i-1].Packets < floods[i].Packets {
+			t.Fatal("floods not sorted")
+		}
+	}
+	if campaigns[0].AmplificationRatio < 2 {
+		t.Errorf("top campaign amplification = %v", campaigns[0].AmplificationRatio)
+	}
+}
+
+func TestBogonList(t *testing.T) {
+	l := BogonList()
+	if len(l) != 14 {
+		t.Fatalf("bogon list = %d entries", len(l))
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := ParseAddr("192.0.2.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAddr("not-an-ip"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if _, err := ParsePrefix("10.0.0.0/8"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentsSmoke(t *testing.T) {
+	sim := newSmallSim(t)
+	var buf bytes.Buffer
+	if err := sim.RunExperiments(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatalf("experiment report suspiciously short: %d bytes", buf.Len())
+	}
+}
