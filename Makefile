@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite under the race detector — the supervision code
+# (bgp.Reconnector, the multi-connection IPFIX Serve, faultnet) is
+# concurrent, so this is the tier the resilience layer is gated on.
+race:
+	$(GO) test -race ./...
+
+# verify is the CI entry point: static checks plus the race-checked suite.
+verify: vet race
+
+# fuzz gives the stream-framing path a short adversarial workout beyond the
+# seeded corpus that runs in `make test`.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzServeStream -fuzztime=20s ./internal/ipfix
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalUpdate -fuzztime=20s ./internal/bgp

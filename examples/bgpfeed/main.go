@@ -1,95 +1,103 @@
 // BGP feed: build the classifier from a LIVE BGP session instead of MRT
-// files. A route-server goroutine speaks BGP-4 over TCP (OPEN/KEEPALIVE
-// handshake with 4-octet-AS capability, then one UPDATE per announcement);
-// the collector side peers with it, digests the updates into a RIB, compiles
-// the classification pipeline, and classifies the simulation's traffic —
-// the "apply it to filter your incoming traffic" deployment sketched in the
-// paper's conclusion.
+// files — and survive the session dying mid-feed. A route-server goroutine
+// speaks BGP-4 over TCP (OPEN/KEEPALIVE handshake with 4-octet-AS
+// capability, then one UPDATE per announcement) and replays the full table
+// to every peer that connects. The first connection runs under a faultnet
+// schedule that resets the transport partway through the replay; the
+// collector side peers through a bgp.Reconnector, which detects the flap,
+// re-dials with capped jittered backoff, rebuilds the RIB from the fresh
+// replay, compiles the classification pipeline, and classifies the
+// simulation's traffic — the "apply it to filter your incoming traffic"
+// deployment sketched in the paper's conclusion, minus the assumption that
+// the feed never hiccups.
 //
 //	go run ./examples/bgpfeed
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"time"
 
 	"spoofscope"
 	"spoofscope/internal/bgp"
+	"spoofscope/internal/faultnet"
 	"spoofscope/internal/netx"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	sim, err := spoofscope.NewSimulation(spoofscope.SimulationSizeSmall, 3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-
-	// Route-server side: accept one BGP peer and replay every announcement.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
 	anns := sim.Env().Scenario.Anns
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		sess, err := bgp.NewSession(conn, bgp.SessionConfig{
-			LocalAS: 65000, LocalID: netx.MustParseAddr("198.51.100.1"),
-			HoldTime: 30 * time.Second,
-		})
-		if err != nil {
-			log.Printf("route server: %v", err)
-			return
-		}
-		defer sess.Close()
-		for _, a := range anns {
-			u := &bgp.Update{
-				Attrs: bgp.Attributes{
-					ASPath:  []bgp.PathSegment{{Type: bgp.SegmentSequence, ASNs: a.Path}},
-					NextHop: netx.MustParseAddr("198.51.100.2"),
-				},
-				NLRI: []netx.Prefix{a.Prefix},
-			}
-			if err := sess.Send(u); err != nil {
-				log.Printf("route server send: %v", err)
-				return
-			}
-		}
-	}()
 
-	// Collector side: peer, fill the RIB from the stream.
-	sess, err := bgp.Dial(ln.Addr().String(), bgp.SessionConfig{
-		LocalAS: 64999, LocalID: netx.MustParseAddr("198.51.100.2"),
-		HoldTime: 30 * time.Second,
-	})
+	// Route-server side: replay every announcement to each peer, ending
+	// with an orderly CEASE. Connection 0 is sabotaged by faultnet: the
+	// transport resets after ~40 writes, mid-replay.
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer sess.Close()
-	log.Printf("BGP session up with AS%d", sess.PeerAS())
+	ln := faultnet.WrapListener(inner, func(i int) faultnet.Config {
+		if i == 0 {
+			return faultnet.Config{Seed: 1, ResetAfterWrites: 40}
+		}
+		return faultnet.Config{}
+	})
+	defer ln.Close()
+	go routeServer(ln, anns)
 
-	// Drain the session until the route server finishes and sends CEASE.
+	// Collector side: a supervised session fills the RIB from the stream.
+	// On every (re)establishment the peer replays from scratch, so the
+	// OnEstablish hook restarts the RIB build.
 	rib := bgp.NewRIB()
+	rec := bgp.NewReconnector(bgp.ReconnectorConfig{
+		Addr: ln.Addr().String(),
+		Session: bgp.SessionConfig{
+			LocalAS: 64999, LocalID: netx.MustParseAddr("198.51.100.2"),
+			HoldTime: 30 * time.Second,
+		},
+		InitialBackoff: 50 * time.Millisecond,
+		MaxBackoff:     time.Second,
+		Seed:           7,
+		OnEstablish: func(s *bgp.Session) error {
+			log.Printf("BGP session up with AS%d (hold time %v)", s.PeerAS(), s.HoldTime())
+			rib = bgp.NewRIB()
+			return nil
+		},
+	})
+	defer rec.Close()
+
+	// Drain the supervised session until the route server finishes a full
+	// replay and sends CEASE; transport faults along the way are absorbed.
 	for {
-		u, err := sess.Recv()
-		if err != nil {
+		u, err := rec.Recv()
+		if err == io.EOF {
 			break
+		}
+		if err != nil {
+			return err
 		}
 		rib.ApplyUpdate(u)
 	}
-	log.Printf("RIB built from live session: %d prefixes, %d distinct announcements",
-		rib.NumPrefixes(), len(rib.Announcements()))
+	st := rec.Stats()
+	log.Printf("feed survived %d flap(s) across %d dial(s); RIB from live session: %d prefixes, %d distinct announcements",
+		st.Flaps, st.Dials, rib.NumPrefixes(), len(rib.Announcements()))
 
 	// Compile the classifier from the streamed RIB and classify traffic.
 	cls, err := spoofscope.NewClassifierFromRIB(rib, sim.Members(), spoofscope.ClassifierOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	counts := map[spoofscope.Class]int{}
 	for _, f := range sim.Flows() {
@@ -101,5 +109,42 @@ func main() {
 		spoofscope.ClassUnrouted, spoofscope.ClassInvalid,
 	} {
 		fmt.Printf("  %-9s %6d flows\n", c, counts[c])
+	}
+	return nil
+}
+
+// routeServer accepts peers until the listener closes, replaying the full
+// announcement table to each; Session.Close sends the CEASE that tells a
+// healthy peer the replay is complete.
+func routeServer(ln net.Listener, anns []bgp.Announcement) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			sess, err := bgp.NewSession(conn, bgp.SessionConfig{
+				LocalAS: 65000, LocalID: netx.MustParseAddr("198.51.100.1"),
+				HoldTime: 30 * time.Second,
+			})
+			if err != nil {
+				log.Printf("route server handshake: %v", err)
+				return
+			}
+			defer sess.Close()
+			for _, a := range anns {
+				u := &bgp.Update{
+					Attrs: bgp.Attributes{
+						ASPath:  []bgp.PathSegment{{Type: bgp.SegmentSequence, ASNs: a.Path}},
+						NextHop: netx.MustParseAddr("198.51.100.2"),
+					},
+					NLRI: []netx.Prefix{a.Prefix},
+				}
+				if err := sess.Send(u); err != nil {
+					log.Printf("route server send (peer flapped): %v", err)
+					return
+				}
+			}
+		}(conn)
 	}
 }

@@ -1,9 +1,13 @@
-// Livefeed: classify flows in real time as they arrive over the network.
-// An IPFIX exporter streams the simulation's traffic over UDP to a
-// collector (RFC 7011 wire format, template retransmission included); the
-// collector classifies each decoded flow on arrival and prints a running
-// tally — the deployment mode the paper's conclusion suggests ("every
-// network on the inter-domain Internet can opt to apply it").
+// Livefeed: classify flows in real time as they arrive over the network —
+// and keep classifying when the network misbehaves. An IPFIX exporter
+// streams the simulation's traffic over UDP to a collector (RFC 7011 wire
+// format, template retransmission included) through a faultnet schedule
+// that corrupts every 7th datagram's header; the collector skips and counts
+// the damaged datagrams instead of dying, classifies each surviving flow on
+// arrival, and prints a running tally plus its degradation stats — the
+// deployment mode the paper's conclusion suggests ("every network on the
+// inter-domain Internet can opt to apply it"), hardened the way real
+// collectors must be.
 //
 //	go run ./examples/livefeed
 package main
@@ -11,52 +15,44 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"spoofscope"
+	"spoofscope/internal/faultnet"
 	"spoofscope/internal/ipfix"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	sim, err := spoofscope.NewSimulation(spoofscope.SimulationSizeSmall, 5)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cls := sim.Classifier()
 
 	collector, err := ipfix.ListenUDP("127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer collector.Close()
 	log.Printf("collector listening on %s", collector.Addr())
 
-	// Exporter goroutine: stream the first 5000 flows in small batches.
 	flows := sim.Flows()
 	if len(flows) > 5000 {
 		flows = flows[:5000]
 	}
-	go func() {
-		exporter, err := ipfix.DialUDP(collector.Addr().String(), 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer exporter.Close()
-		now := time.Now()
-		for off := 0; off < len(flows); off += 100 {
-			end := off + 100
-			if end > len(flows) {
-				end = len(flows)
-			}
-			if err := exporter.Export(now, flows[off:end]); err != nil {
-				log.Printf("export: %v", err)
-				return
-			}
-			// Pace the stream so the collector's socket buffer keeps up.
-			time.Sleep(2 * time.Millisecond)
-		}
-	}()
+	// Exporter goroutine. Errors are propagated to main over errc — a
+	// failed exporter must not kill the process from a goroutine and skip
+	// the collector's deferred cleanup.
+	errc := make(chan error, 1)
+	go func() { errc <- export(collector.Addr().String(), flows) }()
 
 	counts := map[spoofscope.Class]int{}
 	alerts := 0
@@ -73,14 +69,48 @@ func main() {
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if err := <-errc; err != nil {
+		return fmt.Errorf("exporter: %w", err)
 	}
 
-	fmt.Printf("\nreceived %d flows over UDP (%d malformed datagrams)\n", received, malformed)
+	stats := collector.Stats()
+	fmt.Printf("\nreceived %d flows over UDP; %d corrupted datagrams injected by faultnet were counted, not fatal\n",
+		received, malformed)
+	fmt.Printf("collector stats: flows=%d malformed=%d\n", stats.Flows, stats.Malformed)
 	for _, c := range []spoofscope.Class{
 		spoofscope.ClassValid, spoofscope.ClassBogon,
 		spoofscope.ClassUnrouted, spoofscope.ClassInvalid,
 	} {
 		fmt.Printf("  %-9s %6d\n", c, counts[c])
 	}
+	return nil
+}
+
+// export streams flows in small batches through a deterministic fault
+// schedule: every 7th datagram gets one header byte flipped, which the
+// collector must absorb as a malformed-datagram count.
+func export(addr string, flows []ipfix.Flow) error {
+	raw, err := net.Dial("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn := faultnet.Wrap(raw, faultnet.Config{Seed: 42, CorruptWriteEvery: 7})
+	exporter := ipfix.NewUDPExporter(conn, 7)
+	defer exporter.Close()
+	now := time.Now()
+	for off := 0; off < len(flows); off += 100 {
+		end := off + 100
+		if end > len(flows) {
+			end = len(flows)
+		}
+		if err := exporter.Export(now, flows[off:end]); err != nil {
+			return err
+		}
+		// Pace the stream so the collector's socket buffer keeps up.
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Printf("exporter done: %d datagrams corrupted in flight", conn.Stats().CorruptedWrites)
+	return nil
 }

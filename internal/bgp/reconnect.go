@@ -1,0 +1,303 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// SessionState is the supervision state of a Reconnector.
+type SessionState int32
+
+// Reconnector states.
+const (
+	StateIdle SessionState = iota
+	StateConnecting
+	StateEstablished
+	StateBackoff
+	StateClosed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateConnecting:
+		return "connecting"
+	case StateEstablished:
+		return "established"
+	case StateBackoff:
+		return "backoff"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// ReconnectorConfig parameterizes session supervision.
+type ReconnectorConfig struct {
+	// Addr is the peer to dial (host:port).
+	Addr string
+	// Session configures each established session.
+	Session SessionConfig
+	// InitialBackoff (default 200ms) doubles per consecutive failure up to
+	// MaxBackoff (default 30s), then holds there.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// Jitter spreads each backoff by ±this fraction (default 0.1) so a fleet
+	// of collectors does not re-dial a recovering peer in lockstep. Negative
+	// disables jitter.
+	Jitter float64
+	// MaxAttempts caps consecutive failed connection attempts before Recv
+	// gives up (0 = retry forever).
+	MaxAttempts int
+	// ReconnectOnEOF treats an orderly CEASE from the peer as a flap and
+	// re-dials. The default (false) passes io.EOF through to the caller —
+	// right for finite replays like the examples.
+	ReconnectOnEOF bool
+	// Dial overrides the transport dialer (tests wrap it in faultnet).
+	Dial func(addr string) (net.Conn, error)
+	// OnEstablish runs after every successful handshake, before any Recv on
+	// the new session — the hook where a collector resets its RIB so the
+	// peer's full replay rebuilds it from scratch. A non-nil error tears the
+	// session down and aborts Recv.
+	OnEstablish func(*Session) error
+	// Seed drives the jitter RNG, making backoff schedules reproducible.
+	Seed int64
+}
+
+func (c *ReconnectorConfig) initialBackoff() time.Duration {
+	if c.InitialBackoff <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.InitialBackoff
+}
+
+func (c *ReconnectorConfig) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 30 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+func (c *ReconnectorConfig) jitter() float64 {
+	switch {
+	case c.Jitter < 0:
+		return 0
+	case c.Jitter == 0:
+		return 0.1
+	}
+	return c.Jitter
+}
+
+// ReconnectorStats is a snapshot of supervision counters.
+type ReconnectorStats struct {
+	State SessionState
+	// Dials counts connection attempts, including the first.
+	Dials int
+	// Flaps counts established sessions that subsequently failed.
+	Flaps int
+	// LastError is the most recent dial/session failure ("" if none).
+	LastError string
+}
+
+// Reconnector supervises a BGP session: it dials on demand, re-dials with
+// capped exponential backoff plus jitter when the session fails, and replays
+// the OnEstablish hook on every re-establishment. Recv is the single-consumer
+// read path, like Session.Recv; Close and Stats are safe from any goroutine.
+type Reconnector struct {
+	cfg ReconnectorConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sess     *Session
+	state    SessionState
+	dials    int
+	flaps    int
+	lastErr  error
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+// NewReconnector builds a supervisor; no connection is made until Recv.
+func NewReconnector(cfg ReconnectorConfig) *Reconnector {
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return &Reconnector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		state:  StateIdle,
+		closed: make(chan struct{}),
+	}
+}
+
+// Recv returns the next UPDATE from the supervised session, transparently
+// re-establishing it after failures. It returns io.EOF on the peer's orderly
+// CEASE (unless ReconnectOnEOF), net.ErrClosed after Close, and a terminal
+// error once MaxAttempts consecutive connection attempts fail.
+func (r *Reconnector) Recv() (*Update, error) {
+	for {
+		sess, err := r.ensure()
+		if err != nil {
+			return nil, err
+		}
+		u, err := sess.Recv()
+		if err == nil {
+			return u, nil
+		}
+		if r.isClosed() {
+			return nil, net.ErrClosed
+		}
+		if errors.Is(err, io.EOF) && !r.cfg.ReconnectOnEOF {
+			r.teardown(StateIdle)
+			return nil, io.EOF
+		}
+		r.mu.Lock()
+		r.flaps++
+		r.lastErr = err
+		r.mu.Unlock()
+		r.teardown(StateConnecting)
+	}
+}
+
+// Session returns the currently-established session, or nil.
+func (r *Reconnector) Session() *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sess
+}
+
+// Stats returns a snapshot of the supervision counters.
+func (r *Reconnector) Stats() ReconnectorStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ReconnectorStats{State: r.state, Dials: r.dials, Flaps: r.flaps}
+	if r.lastErr != nil {
+		st.LastError = r.lastErr.Error()
+	}
+	return st
+}
+
+// Close tears down the supervised session (sending CEASE if established) and
+// releases any Recv blocked in backoff.
+func (r *Reconnector) Close() error {
+	r.closeOne.Do(func() { close(r.closed) })
+	r.teardown(StateClosed)
+	return nil
+}
+
+func (r *Reconnector) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Reconnector) teardown(next SessionState) {
+	r.mu.Lock()
+	sess := r.sess
+	r.sess = nil
+	r.state = next
+	r.mu.Unlock()
+	if sess != nil {
+		sess.Close()
+	}
+}
+
+func (r *Reconnector) setState(s SessionState) {
+	r.mu.Lock()
+	r.state = s
+	r.mu.Unlock()
+}
+
+// ensure returns the live session, dialing with backoff until one is
+// established or the retry budget is exhausted.
+func (r *Reconnector) ensure() (*Session, error) {
+	r.mu.Lock()
+	if r.sess != nil {
+		sess := r.sess
+		r.mu.Unlock()
+		return sess, nil
+	}
+	r.mu.Unlock()
+
+	for attempt := 1; ; attempt++ {
+		if r.isClosed() {
+			return nil, net.ErrClosed
+		}
+		r.mu.Lock()
+		r.state = StateConnecting
+		r.dials++
+		r.mu.Unlock()
+
+		sess, err := r.establish()
+		if err == nil {
+			r.mu.Lock()
+			r.sess = sess
+			r.state = StateEstablished
+			r.mu.Unlock()
+			return sess, nil
+		}
+		r.mu.Lock()
+		r.lastErr = err
+		r.mu.Unlock()
+		if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
+			r.setState(StateIdle)
+			return nil, fmt.Errorf("bgp: giving up on %s after %d attempts: %w", r.cfg.Addr, attempt, err)
+		}
+		r.setState(StateBackoff)
+		select {
+		case <-r.closed:
+			return nil, net.ErrClosed
+		case <-time.After(r.nextBackoff(attempt)):
+		}
+	}
+}
+
+func (r *Reconnector) establish() (*Session, error) {
+	conn, err := r.cfg.Dial(r.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := NewSession(conn, r.cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.OnEstablish != nil {
+		if err := r.cfg.OnEstablish(sess); err != nil {
+			sess.Close()
+			return nil, err
+		}
+	}
+	return sess, nil
+}
+
+// nextBackoff computes the jittered, capped delay before retry `attempt+1`
+// (attempt counts completed failures, starting at 1).
+func (r *Reconnector) nextBackoff(attempt int) time.Duration {
+	base := r.cfg.initialBackoff()
+	limit := r.cfg.maxBackoff()
+	for i := 1; i < attempt && base < limit; i++ {
+		base *= 2
+	}
+	if base > limit {
+		base = limit
+	}
+	if j := r.cfg.jitter(); j > 0 {
+		r.mu.Lock()
+		f := 1 + (r.rng.Float64()*2-1)*j
+		r.mu.Unlock()
+		base = time.Duration(float64(base) * f)
+	}
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	return base
+}

@@ -7,10 +7,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spoofscope/internal/netx"
 )
+
+// ErrHoldExpired is returned by Recv when the negotiated hold time passes
+// without any message from the peer (RFC 4271 §6.5). The transport may still
+// be "up" at the TCP level; the peer is considered dead regardless.
+var ErrHoldExpired = errors.New("bgp: hold timer expired")
 
 // Message type codes (RFC 4271 §4.1).
 const (
@@ -26,8 +32,15 @@ const asTrans = 23456
 type SessionConfig struct {
 	LocalAS ASN
 	LocalID netx.Addr
-	// HoldTime defaults to 90s; keepalives are sent every HoldTime/3.
+	// HoldTime is the hold time we propose in our OPEN (default 90s). The
+	// session runs at min(proposed, peer's proposal) per RFC 4271 §4.2;
+	// keepalives are paced at a third of the negotiated value and Recv
+	// enforces it as a read deadline. The wire granularity is whole seconds
+	// (sub-second values round up).
 	HoldTime time.Duration
+	// HandshakeTimeout bounds the OPEN/KEEPALIVE exchange (default 10s), so
+	// a peer that connects and goes silent cannot wedge NewSession forever.
+	HandshakeTimeout time.Duration
 }
 
 func (c *SessionConfig) holdTime() time.Duration {
@@ -37,15 +50,46 @@ func (c *SessionConfig) holdTime() time.Duration {
 	return c.HoldTime
 }
 
+// wireHoldTime is the whole-second hold time we propose on the wire.
+func (c *SessionConfig) wireHoldTime() uint16 {
+	secs := (c.holdTime() + time.Second - 1) / time.Second
+	if secs > 0xffff {
+		secs = 0xffff
+	}
+	return uint16(secs)
+}
+
+func (c *SessionConfig) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.HandshakeTimeout
+}
+
+// SessionStats is a snapshot of a session's message counters.
+type SessionStats struct {
+	// HoldTime is the negotiated hold time (0 = keepalives disabled).
+	HoldTime     time.Duration
+	UpdatesIn    int64
+	UpdatesOut   int64
+	KeepalivesIn int64
+	// KeepalivesOut counts the confirmation keepalive plus timer-driven ones.
+	KeepalivesOut int64
+}
+
 // Session is an established BGP-4 session over a reliable transport. Both
 // sides run the same code (the protocol is symmetric after TCP setup).
 // Send and Recv are safe to use from different goroutines, but each is not
 // itself concurrency-safe.
 type Session struct {
-	conn   net.Conn
-	cfg    SessionConfig
-	peerAS ASN
-	peerID netx.Addr
+	conn     net.Conn
+	cfg      SessionConfig
+	peerAS   ASN
+	peerID   netx.Addr
+	holdTime time.Duration // negotiated; 0 disables keepalives and deadlines
+
+	updatesIn, updatesOut       atomic.Int64
+	keepalivesIn, keepalivesOut atomic.Int64
 
 	writeMu   sync.Mutex
 	closeOnce sync.Once
@@ -54,14 +98,18 @@ type Session struct {
 }
 
 // NewSession performs the OPEN/KEEPALIVE handshake on conn and starts the
-// keepalive timer. The caller keeps ownership of conn only for address
-// introspection; Close closes it.
+// keepalive timer. The whole exchange runs under HandshakeTimeout. The caller
+// keeps ownership of conn only for address introspection; Close closes it.
 func NewSession(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	s := &Session{
 		conn:     conn,
 		cfg:      cfg,
 		closed:   make(chan struct{}),
 		keepDone: make(chan struct{}),
+	}
+	if err := conn.SetDeadline(time.Now().Add(cfg.handshakeTimeout())); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: arming handshake deadline: %w", err)
 	}
 	if err := s.writeMessage(msgTypeOpen, s.openBody()); err != nil {
 		conn.Close()
@@ -87,6 +135,7 @@ func NewSession(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		conn.Close()
 		return nil, err
 	}
+	s.keepalivesOut.Add(1)
 	typ, _, err = readMessage(conn)
 	if err != nil {
 		conn.Close()
@@ -95,6 +144,10 @@ func NewSession(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	if typ != msgTypeKeepalive {
 		conn.Close()
 		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got type %d", typ)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: clearing handshake deadline: %w", err)
 	}
 	go s.keepaliveLoop()
 	return s, nil
@@ -115,6 +168,22 @@ func (s *Session) PeerAS() ASN { return s.peerAS }
 // PeerID returns the peer's BGP identifier.
 func (s *Session) PeerID() netx.Addr { return s.peerID }
 
+// HoldTime returns the negotiated hold time: min(ours, peer's), in whole
+// seconds. Zero means the peers agreed to run without keepalives, and Recv
+// never times out.
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Stats returns a snapshot of the session's message counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		HoldTime:      s.holdTime,
+		UpdatesIn:     s.updatesIn.Load(),
+		UpdatesOut:    s.updatesOut.Load(),
+		KeepalivesIn:  s.keepalivesIn.Load(),
+		KeepalivesOut: s.keepalivesOut.Load(),
+	}
+}
+
 // openBody builds our OPEN message body with the 4-octet-AS capability.
 func (s *Session) openBody() []byte {
 	b := make([]byte, 0, 20)
@@ -124,7 +193,7 @@ func (s *Session) openBody() []byte {
 		as2 = uint16(s.cfg.LocalAS)
 	}
 	b = binary.BigEndian.AppendUint16(b, as2)
-	b = binary.BigEndian.AppendUint16(b, uint16(s.cfg.holdTime()/time.Second))
+	b = binary.BigEndian.AppendUint16(b, s.cfg.wireHoldTime())
 	b = binary.BigEndian.AppendUint32(b, uint32(s.cfg.LocalID))
 	// Optional parameter: capabilities (type 2) with 4-octet AS (code 65).
 	cap4 := make([]byte, 0, 8)
@@ -144,6 +213,10 @@ func (s *Session) parseOpen(b []byte) error {
 		return fmt.Errorf("bgp: unsupported BGP version %d", b[0])
 	}
 	s.peerAS = ASN(binary.BigEndian.Uint16(b[1:3]))
+	// RFC 4271 §4.2: the session's hold time is the smaller of the two
+	// proposals; compare on the wire values so both sides agree exactly.
+	peerHold := time.Duration(binary.BigEndian.Uint16(b[3:5])) * time.Second
+	s.holdTime = min(time.Duration(s.cfg.wireHoldTime())*time.Second, peerHold)
 	s.peerID = netx.Addr(binary.BigEndian.Uint32(b[5:9]))
 	optLen := int(b[9])
 	if len(b) < 10+optLen {
@@ -175,7 +248,12 @@ func (s *Session) parseOpen(b []byte) error {
 
 func (s *Session) keepaliveLoop() {
 	defer close(s.keepDone)
-	t := time.NewTicker(s.cfg.holdTime() / 3)
+	if s.holdTime <= 0 {
+		// Negotiated hold time 0: no keepalives on this session (RFC 4271).
+		<-s.closed
+		return
+	}
+	t := time.NewTicker(s.holdTime / 3)
 	defer t.Stop()
 	for {
 		select {
@@ -185,6 +263,7 @@ func (s *Session) keepaliveLoop() {
 			if err := s.writeMessage(msgTypeKeepalive, nil); err != nil {
 				return
 			}
+			s.keepalivesOut.Add(1)
 		}
 	}
 }
@@ -197,23 +276,43 @@ func (s *Session) Send(u *Update) error {
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	_, err = s.conn.Write(msg)
-	return err
+	if _, err = s.conn.Write(msg); err != nil {
+		return err
+	}
+	s.updatesOut.Add(1)
+	return nil
 }
 
-// Recv blocks for the next UPDATE, transparently absorbing keepalives.
-// It returns io.EOF when the peer closes the session or sends a CEASE
-// notification.
+// Recv blocks for the next UPDATE, transparently absorbing keepalives. It
+// enforces the negotiated hold timer: if the peer stays silent past it, Recv
+// fails with ErrHoldExpired instead of hanging on a dead transport. It
+// returns io.EOF only for an orderly shutdown (the peer's CEASE
+// notification); a transport that dies without one surfaces as an error.
 func (s *Session) Recv() (*Update, error) {
 	for {
+		if s.holdTime > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+				return nil, err
+			}
+		}
 		typ, body, err := readMessage(s.conn)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.notify(4, 0) // hold timer expired
+				return nil, fmt.Errorf("%w (%v without a message)", ErrHoldExpired, s.holdTime)
+			}
+			if err == io.EOF {
+				// TCP closed with no CEASE: a peer failure, not a shutdown.
+				return nil, fmt.Errorf("bgp: transport closed without CEASE: %w", io.ErrUnexpectedEOF)
+			}
 			return nil, err
 		}
 		switch typ {
 		case msgTypeKeepalive:
+			s.keepalivesIn.Add(1)
 			continue
 		case msgTypeUpdate:
+			s.updatesIn.Add(1)
 			// Re-frame the body into a full message for UnmarshalUpdate.
 			msg := frameMessage(msgTypeUpdate, body)
 			return UnmarshalUpdate(msg)

@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client end and the raw server end of an in-memory
+// duplex connection.
+func pipe(t *testing.T, cfg Config) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return Wrap(a, cfg), b
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	c, peer := pipe(t, Config{})
+	msg := []byte("hello over a clean transport")
+	go func() {
+		c.Write(msg)
+		c.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFragmentedWritesReassemble(t *testing.T) {
+	c, peer := pipe(t, Config{WriteChunk: 3})
+	msg := []byte("0123456789abcdef")
+	go func() {
+		if n, err := c.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("Write = %d, %v", n, err)
+		}
+		c.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %q", got)
+	}
+	if s := c.Stats(); s.Fragments < 6 {
+		t.Fatalf("fragments = %d", s.Fragments)
+	}
+}
+
+func TestCorruptionIsSeededAndLeavesCallerBufferAlone(t *testing.T) {
+	recv := func(seed int64) []byte {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := Wrap(a, Config{Seed: seed, CorruptWriteEvery: 2})
+		msg := []byte("AAAAAAAA")
+		go func() {
+			for i := 0; i < 4; i++ {
+				if _, err := c.Write(msg); err != nil {
+					t.Error(err)
+				}
+			}
+			if !bytes.Equal(msg, []byte("AAAAAAAA")) {
+				t.Error("caller buffer mutated")
+			}
+			c.Close()
+		}()
+		got, _ := io.ReadAll(b)
+		if s := c.Stats(); s.CorruptedWrites != 2 {
+			t.Fatalf("corrupted writes = %d", s.CorruptedWrites)
+		}
+		return got
+	}
+	first, again := recv(7), recv(7)
+	if !bytes.Equal(first, again) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(first, bytes.Repeat([]byte("AAAAAAAA"), 4)) {
+		t.Fatal("no corruption happened")
+	}
+	// Corruption stays within the 4-byte header region.
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(first[i*8+4:i*8+8], []byte("AAAA")) {
+			t.Fatalf("corruption outside header region: %q", first)
+		}
+	}
+}
+
+func TestResetMidWrite(t *testing.T) {
+	c, peer := pipe(t, Config{ResetAfterWrites: 1})
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(peer)
+		got <- b
+	}()
+	msg := []byte("0123456789")
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != len(msg)/2+1 {
+		t.Fatalf("wrote %d bytes before reset", n)
+	}
+	if b := <-got; len(b) != len(msg)/2+1 {
+		t.Fatalf("peer saw %d bytes", len(b))
+	}
+	if _, err := c.Write(msg); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	if s := c.Stats(); s.Resets != 1 {
+		t.Fatalf("resets = %d", s.Resets)
+	}
+}
+
+func TestStallHonorsReadDeadline(t *testing.T) {
+	c, _ := pipe(t, Config{StallAfterReads: 1})
+	if err := c.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("deadline fired after %v", d)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	c, _ := pipe(t, Config{StallAfterReads: 1})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read not released by Close")
+	}
+}
+
+func TestTransientStallExpires(t *testing.T) {
+	c, peer := pipe(t, Config{StallAfterReads: 1, StallDuration: 30 * time.Millisecond})
+	go peer.Write([]byte("x"))
+	buf := make([]byte, 1)
+	start := time.Now()
+	n, err := c.Read(buf)
+	if err != nil || n != 1 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("stall did not delay the read")
+	}
+	if s := c.Stats(); s.Stalls != 1 {
+		t.Fatalf("stalls = %d", s.Stalls)
+	}
+}
+
+func TestListenerPlanPerConnection(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, func(i int) Config {
+		if i == 0 {
+			return Config{ResetAfterReads: 1}
+		}
+		return Config{}
+	})
+	defer ln.Close()
+
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Write([]byte("payload"))
+			conn.Close()
+		}
+	}()
+
+	// Connection 0: scheduled reset kills the first read.
+	c0, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("conn 0 read err = %v", err)
+	}
+	// Connection 1: transparent.
+	c1, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(c1, buf); err != nil {
+		t.Fatalf("conn 1 read: %v", err)
+	}
+	if ln.Accepts() != 2 {
+		t.Fatalf("accepts = %d", ln.Accepts())
+	}
+	if s, ok := ln.ConnStats(0); !ok || s.Resets != 1 {
+		t.Fatalf("conn 0 stats = %+v, %v", s, ok)
+	}
+}

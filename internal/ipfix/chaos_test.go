@@ -1,0 +1,237 @@
+package ipfix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"spoofscope/internal/faultnet"
+)
+
+// badFramedMessage returns a message whose length field frames it correctly
+// but whose body cannot decode (wrong version) — the "malformed but framed"
+// case a resilient stream collector must skip, not die on.
+func badFramedMessage() []byte {
+	b := make([]byte, msgHeaderLen+4)
+	binary.BigEndian.PutUint16(b[0:], 9999)
+	binary.BigEndian.PutUint16(b[2:], uint16(len(b)))
+	return b
+}
+
+func TestServeStreamSkipsMalformedFramedMessages(t *testing.T) {
+	enc := NewEncoder(3)
+	want := []Flow{sampleFlow(0), sampleFlow(1), sampleFlow(2)}
+	var stream bytes.Buffer
+	for _, msg := range enc.Encode(t0, want[:2]) {
+		stream.Write(msg)
+	}
+	stream.Write(badFramedMessage())
+	for _, msg := range enc.Encode(t0, want[2:]) {
+		stream.Write(msg)
+	}
+
+	var got []Flow
+	n, malformed, err := serveStream(&stream, 0, func(f Flow) bool {
+		got = append(got, f)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("serveStream: %v", err)
+	}
+	if malformed != 1 {
+		t.Fatalf("malformed = %d", malformed)
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("delivered %d/%d flows across the bad message", n, len(want))
+	}
+}
+
+func TestServeStreamFramingLossIsFatal(t *testing.T) {
+	// Length below the header size means the stream cannot resync.
+	b := make([]byte, msgHeaderLen)
+	binary.BigEndian.PutUint16(b[0:], version)
+	binary.BigEndian.PutUint16(b[2:], 3)
+	_, _, err := serveStream(bytes.NewReader(b), 0, func(Flow) bool { return true })
+	if err == nil {
+		t.Fatal("framing loss not reported")
+	}
+}
+
+// TestServeManyConnectionsSurviveFaults drives the multi-connection Serve
+// through a faultnet schedule: one exporter connection is reset mid-stream,
+// another sends a corrupt-but-framed message; a third runs clean. The
+// collector must keep every healthy byte flowing and account for the rest.
+func TestServeManyConnectionsSurviveFaults(t *testing.T) {
+	col, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.IdleTimeout = 2 * time.Second
+
+	var mu sync.Mutex
+	seen := map[uint16]bool{} // key: SrcPort, unique per flow below
+	done := make(chan error, 1)
+	go func() { done <- col.Serve(func(f Flow) bool { mu.Lock(); seen[f.SrcPort] = true; mu.Unlock(); return true }) }()
+
+	flowsFor := func(base, n int) []Flow {
+		out := make([]Flow, n)
+		for i := range out {
+			out[i] = sampleFlow(i)
+			out[i].SrcPort = uint16(base + i)
+		}
+		return out
+	}
+
+	// Connection 1: clean batch, orderly close.
+	exp, err := DialTCP(col.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Export(t0, flowsFor(1000, 30)); err != nil {
+		t.Fatal(err)
+	}
+	exp.Close()
+
+	// Connection 2: a framed-but-corrupt message between two good batches.
+	raw, err := net.Dial("tcp", col.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2 := NewTCPExporter(raw, 2)
+	if err := exp2.Export(t0, flowsFor(2000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(badFramedMessage()); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp2.Export(t0, flowsFor(2100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	exp2.Close()
+
+	// Connection 3: transport reset mid-stream after one good batch.
+	raw3, err := net.Dial("tcp", col.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faultnet.Wrap(raw3, faultnet.Config{Seed: 9, ResetAfterWrites: 2})
+	exp3 := NewTCPExporter(fc, 3)
+	if err := exp3.Export(t0, flowsFor(3000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	exp3.Export(t0, flowsFor(3100, 10)) // reset fires here; error expected
+
+	expect := 30 + 20 + 10
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n >= expect || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	col.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, base := range []int{1000, 2000, 2100, 3000} {
+		for i := 0; i < 10; i++ {
+			if !seen[uint16(base+i)] {
+				t.Fatalf("flow %d lost", base+i)
+			}
+		}
+	}
+	st := col.Stats()
+	if st.Connections != 3 {
+		t.Errorf("connections = %d", st.Connections)
+	}
+	if st.Malformed != 1 {
+		t.Errorf("malformed = %d", st.Malformed)
+	}
+	if st.Disconnects < 1 {
+		t.Errorf("disconnects = %d", st.Disconnects)
+	}
+	if st.Flows < expect {
+		t.Errorf("flows = %d, want >= %d", st.Flows, expect)
+	}
+}
+
+func TestServeStreamIdleTimeoutTearsDownConnection(t *testing.T) {
+	col, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	col.IdleTimeout = 50 * time.Millisecond
+
+	conn, err := net.Dial("tcp", col.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Connect, then go silent: the collector must not wait forever.
+	start := time.Now()
+	_, err = col.AcceptOne(func(Flow) bool { return true })
+	if err == nil {
+		t.Fatal("silent exporter not torn down")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("teardown took %v", d)
+	}
+	if st := col.Stats(); st.Disconnects != 1 {
+		t.Fatalf("disconnects = %d", st.Disconnects)
+	}
+}
+
+func TestUDPCollectorCountsCorruptDatagrams(t *testing.T) {
+	col, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	raw, err := net.Dial("udp", col.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3rd datagram has a header byte flipped by the fault schedule.
+	fc := faultnet.Wrap(raw, faultnet.Config{Seed: 11, CorruptWriteEvery: 3})
+	exp := NewUDPExporter(fc, 4)
+	defer exp.Close()
+
+	sent := 0
+	for i := 0; i < 12; i++ {
+		if err := exp.Export(t0, []Flow{sampleFlow(i)}); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+
+	received := 0
+	malformed, err := col.Serve(time.Now().Add(time.Second), func(Flow) { received++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := fc.Stats().CorruptedWrites
+	if injected == 0 {
+		t.Fatal("fault schedule injected nothing")
+	}
+	if malformed != injected {
+		t.Fatalf("malformed = %d, injected = %d", malformed, injected)
+	}
+	st := col.Stats()
+	if st.Malformed != injected {
+		t.Fatalf("stats.Malformed = %d", st.Malformed)
+	}
+	if received+injected < sent {
+		t.Fatalf("received %d + malformed %d < sent %d", received, injected, sent)
+	}
+}

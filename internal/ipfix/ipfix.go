@@ -327,6 +327,13 @@ func (d *Decoder) parseData(domain uint32, setID uint16, b []byte, dst []Flow) (
 		off := 0
 		for _, fld := range t.fields {
 			v := b[off : off+int(fld.length)]
+			// A known IE advertised at a non-canonical length (reduced-size
+			// or hostile encoding) is skipped like an unknown one rather
+			// than fed to a fixed-width parse below.
+			if fld.length != ieLengths[fld.id] {
+				off += int(fld.length)
+				continue
+			}
 			switch fld.id {
 			case IEFlowStartMilliseconds:
 				f.Start = time.UnixMilli(int64(binary.BigEndian.Uint64(v))).UTC()

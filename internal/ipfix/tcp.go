@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -18,17 +19,23 @@ type TCPExporter struct {
 	enc  *Encoder
 }
 
+// NewTCPExporter wraps an established connection — the hook for fault
+// injection and custom transports. DialTCP is the common path.
+func NewTCPExporter(conn net.Conn, domain uint32) *TCPExporter {
+	return &TCPExporter{
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, 1<<16),
+		enc:  NewEncoder(domain),
+	}
+}
+
 // DialTCP connects an exporter to a TCP collector.
 func DialTCP(addr string, domain uint32) (*TCPExporter, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ipfix: dialing %q: %w", addr, err)
 	}
-	return &TCPExporter{
-		conn: conn,
-		w:    bufio.NewWriterSize(conn, 1<<16),
-		enc:  NewEncoder(domain),
-	}, nil
+	return NewTCPExporter(conn, domain), nil
 }
 
 // Export appends flows to the stream.
@@ -50,9 +57,35 @@ func (e *TCPExporter) Close() error {
 	return e.conn.Close()
 }
 
+// CollectorStats aggregates a collector's transport-level health counters —
+// what a deployment watches to tell "quiet feed" from "degraded feed".
+type CollectorStats struct {
+	// Connections counts accepted exporter connections (TCP only).
+	Connections int
+	// Flows counts flows delivered to the callback.
+	Flows int
+	// Malformed counts framed-but-undecodable messages (TCP) or datagrams
+	// (UDP) that were skipped rather than fatal.
+	Malformed int
+	// Disconnects counts connections torn down by transport, framing, or
+	// deadline errors rather than an orderly exporter close.
+	Disconnects int
+}
+
 // TCPCollector accepts exporter connections and decodes their streams.
 type TCPCollector struct {
 	ln net.Listener
+	// IdleTimeout bounds per-message silence on a connection; a read that
+	// exceeds it tears down that connection (counted as a disconnect).
+	// Zero means no limit.
+	IdleTimeout time.Duration
+
+	mu     sync.Mutex
+	fnMu   sync.Mutex
+	wg     sync.WaitGroup
+	conns  map[net.Conn]struct{}
+	closed bool
+	stats  CollectorStats
 }
 
 // ListenTCP binds a collector.
@@ -61,60 +94,167 @@ func ListenTCP(addr string) (*TCPCollector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipfix: listening on %q: %w", addr, err)
 	}
-	return &TCPCollector{ln: ln}, nil
+	return &TCPCollector{ln: ln, conns: make(map[net.Conn]struct{})}, nil
 }
 
 // Addr returns the bound address.
 func (c *TCPCollector) Addr() net.Addr { return c.ln.Addr() }
 
+// Stats returns a snapshot of the collector's health counters.
+func (c *TCPCollector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // AcceptOne accepts a single exporter connection and streams its flows
 // through fn until the exporter closes or fn returns false. It returns the
-// number of flows delivered.
+// number of flows delivered. Malformed-but-framed messages are skipped and
+// counted, matching the UDP collector's semantics.
 func (c *TCPCollector) AcceptOne(fn func(Flow) bool) (int, error) {
 	conn, err := c.ln.Accept()
 	if err != nil {
 		return 0, err
 	}
 	defer conn.Close()
-	return serveStream(conn, fn)
+	c.mu.Lock()
+	c.stats.Connections++
+	c.mu.Unlock()
+	n, malformed, err := serveStream(conn, c.IdleTimeout, fn)
+	c.mu.Lock()
+	c.stats.Flows += n
+	c.stats.Malformed += malformed
+	if err != nil {
+		c.stats.Disconnects++
+	}
+	c.mu.Unlock()
+	return n, err
 }
 
-// Close stops accepting connections.
-func (c *TCPCollector) Close() error { return c.ln.Close() }
+// Serve accepts exporter connections until Close or Shutdown, streaming
+// every decoded flow through fn. Connections are handled concurrently but fn
+// is invoked serially, so it needs no locking; fn returning false closes
+// that one connection. A connection that fails only bumps the Disconnects
+// counter — the collector keeps serving the rest. Serve returns nil after a
+// shutdown, once every in-flight connection handler has drained.
+func (c *TCPCollector) Serve(fn func(Flow) bool) error {
+	defer c.wg.Wait()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.mu.Lock()
+		c.stats.Connections++
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func(conn net.Conn) {
+			defer c.wg.Done()
+			defer conn.Close()
+			n, malformed, err := serveStream(conn, c.IdleTimeout, func(f Flow) bool {
+				c.fnMu.Lock()
+				defer c.fnMu.Unlock()
+				return fn(f)
+			})
+			c.mu.Lock()
+			delete(c.conns, conn)
+			c.stats.Flows += n
+			c.stats.Malformed += malformed
+			if err != nil {
+				c.stats.Disconnects++
+			}
+			c.mu.Unlock()
+		}(conn)
+	}
+}
 
-// serveStream decodes back-to-back IPFIX messages from a byte stream.
-func serveStream(r io.Reader, fn func(Flow) bool) (int, error) {
+// Close stops accepting and aborts the active connections; Serve returns
+// once their handlers drain. Use Shutdown to let exporters finish instead.
+func (c *TCPCollector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for the active ones to
+// end naturally (exporter close or idle timeout) — the graceful counterpart
+// of Close. It must not be called from inside the Serve callback.
+func (c *TCPCollector) Shutdown() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// readDeadliner is the subset of net.Conn serveStream needs for idle
+// timeouts; plain io.Readers (tests, files) simply run without deadlines.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// serveStream decodes back-to-back IPFIX messages from a byte stream. A
+// message that frames correctly but fails to decode is skipped and counted
+// in malformed — one bad export must not tear down the feed. Only a framing
+// failure (garbage length, short read, deadline) ends the stream with an
+// error, because message boundaries are lost at that point.
+func serveStream(r io.Reader, idle time.Duration, fn func(Flow) bool) (n, malformed int, err error) {
+	rd, hasDeadline := r.(readDeadliner)
 	br := bufio.NewReaderSize(r, 1<<16)
 	dec := NewDecoder()
 	var flows []Flow
-	n := 0
 	for {
+		if hasDeadline && idle > 0 {
+			if err := rd.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return n, malformed, err
+			}
+		}
 		var hdr [msgHeaderLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
-				return n, nil
+				return n, malformed, nil
 			}
-			return n, err
+			return n, malformed, err
 		}
 		total := int(binary.BigEndian.Uint16(hdr[2:]))
 		if total < msgHeaderLen {
-			return n, fmt.Errorf("ipfix: bad stream message length %d", total)
+			return n, malformed, fmt.Errorf("ipfix: bad stream message length %d", total)
 		}
 		msg := make([]byte, total)
 		copy(msg, hdr[:])
 		if _, err := io.ReadFull(br, msg[msgHeaderLen:]); err != nil {
-			return n, err
+			return n, malformed, err
 		}
 		flows = flows[:0]
-		var err error
-		flows, err = dec.Decode(msg, flows)
-		if err != nil {
-			return n, err
+		var derr error
+		flows, derr = dec.Decode(msg, flows)
+		if derr != nil {
+			// The length field framed the message, so the stream is still
+			// in sync: skip it and keep serving.
+			malformed++
+			continue
 		}
 		for _, f := range flows {
 			n++
 			if !fn(f) {
-				return n, nil
+				return n, malformed, nil
 			}
 		}
 	}

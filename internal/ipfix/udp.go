@@ -3,18 +3,25 @@ package ipfix
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
 // UDPExporter sends IPFIX messages to a collector over UDP, re-sending the
 // template periodically as RFC 7011 §8.1 requires for unreliable transports.
 type UDPExporter struct {
-	conn *net.UDPConn
+	conn net.Conn
 	enc  *Encoder
 	// TemplateEvery controls template retransmission (default: every 20
 	// data messages).
 	TemplateEvery int
 	sinceTemplate int
+}
+
+// NewUDPExporter wraps an already-connected datagram socket — the hook for
+// fault injection and custom transports. DialUDP is the common path.
+func NewUDPExporter(conn net.Conn, domain uint32) *UDPExporter {
+	return &UDPExporter{conn: conn, enc: NewEncoder(domain), TemplateEvery: 20}
 }
 
 // DialUDP connects an exporter to addr (e.g. "127.0.0.1:4739").
@@ -27,7 +34,7 @@ func DialUDP(addr string, domain uint32) (*UDPExporter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipfix: dialing %q: %w", addr, err)
 	}
-	return &UDPExporter{conn: conn, enc: NewEncoder(domain), TemplateEvery: 20}, nil
+	return NewUDPExporter(conn, domain), nil
 }
 
 // Export sends flows, preceded by the template when due.
@@ -55,6 +62,9 @@ func (e *UDPExporter) Close() error { return e.conn.Close() }
 type UDPCollector struct {
 	conn *net.UDPConn
 	dec  *Decoder
+
+	mu    sync.Mutex
+	stats CollectorStats
 }
 
 // ListenUDP binds a collector to addr. Use port 0 for an ephemeral port and
@@ -96,9 +106,15 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 		batch, derr := c.dec.Decode(buf[:n], flows[:0])
 		if derr != nil {
 			malformed++
+			c.mu.Lock()
+			c.stats.Malformed++
+			c.mu.Unlock()
 			continue
 		}
 		flows = batch // reuse the grown buffer across datagrams
+		c.mu.Lock()
+		c.stats.Flows += len(batch)
+		c.mu.Unlock()
 		for _, f := range batch {
 			fn(f)
 		}
@@ -108,7 +124,15 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 // Close closes the socket, unblocking Serve.
 func (c *UDPCollector) Close() error { return c.conn.Close() }
 
-// Stats exposes decoder statistics.
-func (c *UDPCollector) Stats() (messages, decoded, skipped int) {
+// Stats returns the collector's health counters (Connections stays zero:
+// UDP has no connections to count).
+func (c *UDPCollector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DecoderStats exposes decoder-level statistics.
+func (c *UDPCollector) DecoderStats() (messages, decoded, skipped int) {
 	return c.dec.Messages, c.dec.RecordsDecoded, c.dec.RecordsSkipped
 }
