@@ -20,8 +20,9 @@ race:
 # verify is the CI entry point: static checks plus the race-checked suite.
 verify: vet race
 
-# fuzz gives the stream-framing path a short adversarial workout beyond the
+# fuzz gives the stream-framing paths a short adversarial workout beyond the
 # seeded corpus that runs in `make test`.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzServeStream -fuzztime=20s ./internal/ipfix
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalUpdate -fuzztime=20s ./internal/bgp
+	$(GO) test -run=^$$ -fuzz=FuzzMRT -fuzztime=20s ./internal/bgp

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	classify -data ixp-data/ [-json report.json] [-no-orgs]
+//	         [-checkpoint run.ckpt [-checkpoint-every N]]
+//
+// With -checkpoint, the aggregate state is snapshotted atomically every N
+// flows; re-running after a crash resumes from the snapshot and produces
+// the same final tallies as an uninterrupted run.
 package main
 
 import (
@@ -38,8 +43,15 @@ func main() {
 		noRouter = flag.Bool("no-routers", false, "skip stray-router tagging")
 		aclFor   = flag.Uint("acl", 0, "print the FULL-cone ingress ACL for this member ASN and exit")
 		aggTO    = flag.Duration("aggregate", 0, "merge sampled packets into flow records with this idle timeout before classification (0 = off)")
+		ckptPath = flag.String("checkpoint", "", "crash-safe checkpoint file: resume from it if present, snapshot to it periodically")
+		ckptN    = flag.Uint64("checkpoint-every", 100000, "flows between checkpoint snapshots (with -checkpoint)")
 	)
 	flag.Parse()
+	if *ckptPath != "" && *aggTO > 0 {
+		// The flow cache re-times and merges records, so a flow index no
+		// longer positions a replay; refuse the ambiguous combination.
+		log.Fatal("-checkpoint cannot be combined with -aggregate")
+	}
 
 	// Routing data.
 	mrt, err := os.Open(filepath.Join(*dataDir, "routing.mrt"))
@@ -111,9 +123,36 @@ func main() {
 	agg := core.NewAggregator(time.Unix(0, 0).UTC(), 1<<62) // single bucket
 	fr := ipfix.NewFileReader(flows)
 	n := 0
+	skip := uint64(0)
+	if *ckptPath != "" {
+		if cp, err := core.ReadCheckpointFile(*ckptPath); err == nil {
+			agg = cp.Agg
+			skip = cp.Processed
+			n = int(cp.Processed)
+			log.Printf("resuming from %s: %d flows already processed", *ckptPath, cp.Processed)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	snapshot := func() {
+		cp := &core.Checkpoint{
+			Ingested: uint64(n), Queued: uint64(n), Processed: uint64(n),
+			Epoch: 1, Agg: agg,
+		}
+		if err := core.WriteCheckpointFile(*ckptPath, cp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	seen := uint64(0)
 	sink := func(f ipfix.Flow) {
+		if seen++; seen <= skip {
+			return // already accounted by the resumed checkpoint
+		}
 		agg.Add(f, pipeline.Classify(f))
 		n++
+		if *ckptPath != "" && *ckptN > 0 && uint64(n)%*ckptN == 0 {
+			snapshot()
+		}
 	}
 	if *aggTO > 0 {
 		// Run the metering process first: merge sampled packets of the
@@ -132,6 +171,10 @@ func main() {
 		return true
 	}); err != nil {
 		log.Fatal(err)
+	}
+	if *ckptPath != "" {
+		snapshot()
+		log.Printf("checkpoint: %s", *ckptPath)
 	}
 	for _, m := range members {
 		agg.SetMemberASN(m.Port, m.ASN)

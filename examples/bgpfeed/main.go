@@ -1,22 +1,19 @@
-// BGP feed: build the classifier from a LIVE BGP session instead of MRT
-// files — and survive the session dying mid-feed. A route-server goroutine
-// speaks BGP-4 over TCP (OPEN/KEEPALIVE handshake with 4-octet-AS
-// capability, then one UPDATE per announcement) and replays the full table
-// to every peer that connects. The first connection runs under a faultnet
-// schedule that resets the transport partway through the replay; the
-// collector side peers through a bgp.Reconnector, which detects the flap,
-// re-dials with capped jittered backoff, rebuilds the RIB from the fresh
-// replay, compiles the classification pipeline, and classifies the
-// simulation's traffic — the "apply it to filter your incoming traffic"
-// deployment sketched in the paper's conclusion, minus the assumption that
-// the feed never hiccups.
+// BGP feed: run the live classification runtime against a LIVE BGP session
+// — epochs, flaps and all. A route-server goroutine speaks BGP-4 over TCP
+// and replays the full table to every peer that connects; each complete
+// replay becomes one routing-state epoch, compiled off the hot path and
+// atomically swapped into the runtime between flows. The first connection
+// runs under a faultnet schedule that resets the transport mid-replay: the
+// supervised session flaps, the runtime is marked degraded for the gap, the
+// re-dialed replay rebuilds the table, and classification never stops — the
+// "apply it to filter your incoming traffic" deployment sketched in the
+// paper's conclusion, minus the assumption that the feed never hiccups.
 //
 //	go run ./examples/bgpfeed
 package main
 
 import (
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"time"
@@ -42,8 +39,9 @@ func run() error {
 	anns := sim.Env().Scenario.Anns
 
 	// Route-server side: replay every announcement to each peer, ending
-	// with an orderly CEASE. Connection 0 is sabotaged by faultnet: the
-	// transport resets after ~40 writes, mid-replay.
+	// with an orderly CEASE — one complete replay is one table snapshot.
+	// Connection 0 is sabotaged by faultnet: the transport resets after
+	// ~40 writes, mid-replay.
 	inner, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -57,51 +55,80 @@ func run() error {
 	defer ln.Close()
 	go routeServer(ln, anns)
 
-	// Collector side: a supervised session fills the RIB from the stream.
-	// On every (re)establishment the peer replays from scratch, so the
-	// OnEstablish hook restarts the RIB build.
-	rib := bgp.NewRIB()
-	rec := bgp.NewReconnector(bgp.ReconnectorConfig{
-		Addr: ln.Addr().String(),
-		Session: bgp.SessionConfig{
-			LocalAS: 64999, LocalID: netx.MustParseAddr("198.51.100.2"),
-			HoldTime: 30 * time.Second,
-		},
-		InitialBackoff: 50 * time.Millisecond,
-		MaxBackoff:     time.Second,
-		Seed:           7,
-		OnEstablish: func(s *bgp.Session) error {
-			log.Printf("BGP session up with AS%d (hold time %v)", s.PeerAS(), s.HoldTime())
-			rib = bgp.NewRIB()
-			return nil
-		},
+	// The runtime starts with NO routing state: flows queue until the
+	// first complete replay promotes epoch 1.
+	rt, err := spoofscope.NewLiveRuntime(spoofscope.LiveRuntimeConfig{
+		Members: sim.Members(),
+		Start:   time.Now(), Bucket: time.Hour,
 	})
-	defer rec.Close()
-
-	// Drain the supervised session until the route server finishes a full
-	// replay and sends CEASE; transport faults along the way are absorbed.
-	for {
-		u, err := rec.Recv()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		rib.ApplyUpdate(u)
-	}
-	st := rec.Stats()
-	log.Printf("feed survived %d flap(s) across %d dial(s); RIB from live session: %d prefixes, %d distinct announcements",
-		st.Flaps, st.Dials, rib.NumPrefixes(), len(rib.Announcements()))
-
-	// Compile the classifier from the streamed RIB and classify traffic.
-	cls, err := spoofscope.NewClassifierFromRIB(rib, sim.Members(), spoofscope.ClassifierOptions{})
 	if err != nil {
 		return err
 	}
+	defer rt.Close()
+
+	feedDone := make(chan error, 1)
+	go func() {
+		feedDone <- rt.ServeBGP(spoofscope.BGPFeedConfig{
+			Addr: ln.Addr().String(),
+			Session: bgp.SessionConfig{
+				LocalAS: 64999, LocalID: netx.MustParseAddr("198.51.100.2"),
+				HoldTime: 30 * time.Second,
+			},
+			Reconnect: bgp.ReconnectorConfig{
+				InitialBackoff: 50 * time.Millisecond,
+				MaxBackoff:     time.Second,
+				Seed:           7,
+			},
+			MaxEpochs: 2, // two full replays, then stop the feed
+		})
+	}()
+
+	flows := sim.Flows()
+	half := len(flows) / 2
+	byEpoch := map[spoofscope.Epoch]int{}
 	counts := map[spoofscope.Class]int{}
-	for _, f := range sim.Flows() {
-		counts[cls.Classify(f).Class]++
+	stale := 0
+	drain := func(batch []spoofscope.Flow) {
+		// Ingest and consume in lockstep so the bounded queue never fills
+		// (a collector goroutine would normally do the pushing).
+		for _, f := range batch {
+			if !rt.Ingest(f) {
+				continue
+			}
+			_, v, ok := rt.Step()
+			if !ok {
+				return
+			}
+			byEpoch[v.Epoch]++
+			counts[v.Class]++
+			if v.Stale {
+				stale++
+			}
+		}
+	}
+
+	// First half classifies under epoch 1 — the epoch built from the
+	// replay that survived the mid-feed reset.
+	drain(flows[:half])
+	log.Printf("epoch %d live after surviving the faulted replay", rt.Stats().Epoch)
+
+	// Wait for the second replay to promote epoch 2, then classify the
+	// rest: the swap happened between flows, classification never paused.
+	for rt.Stats().Epoch < 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	drain(flows[half:])
+
+	if err := <-feedDone; err != nil {
+		return err
+	}
+	st := rt.Stats()
+	fmt.Printf("\nruntime: epoch=%d swaps=%d stale-verdicts=%d processed=%d\n",
+		st.Epoch, st.Swaps, st.StaleVerdicts, st.Processed)
+	fmt.Printf("queue:   ingested=%d queued=%d shed=%d high-watermark=%d\n",
+		st.Queue.Ingested, st.Queue.Queued, st.Queue.Shed, st.Queue.HighWatermarkObserved)
+	for e := spoofscope.Epoch(1); e <= st.Epoch; e++ {
+		fmt.Printf("  epoch %d classified %6d flows\n", e, byEpoch[e])
 	}
 	fmt.Println("\nclassification from the live BGP feed:")
 	for _, c := range []spoofscope.Class{
@@ -109,6 +136,9 @@ func run() error {
 		spoofscope.ClassUnrouted, spoofscope.ClassInvalid,
 	} {
 		fmt.Printf("  %-9s %6d flows\n", c, counts[c])
+	}
+	if stale > 0 {
+		fmt.Printf("  (%d verdicts were tagged stale during feed gaps)\n", stale)
 	}
 	return nil
 }

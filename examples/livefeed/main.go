@@ -1,13 +1,13 @@
-// Livefeed: classify flows in real time as they arrive over the network —
-// and keep classifying when the network misbehaves. An IPFIX exporter
-// streams the simulation's traffic over UDP to a collector (RFC 7011 wire
-// format, template retransmission included) through a faultnet schedule
-// that corrupts every 7th datagram's header; the collector skips and counts
-// the damaged datagrams instead of dying, classifies each surviving flow on
-// arrival, and prints a running tally plus its degradation stats — the
-// deployment mode the paper's conclusion suggests ("every network on the
-// inter-domain Internet can opt to apply it"), hardened the way real
-// collectors must be.
+// Livefeed: the full live runtime fed over the network — classify flows as
+// they arrive, shed deterministically under pressure, and checkpoint the
+// aggregate state crash-safely. An IPFIX exporter streams the simulation's
+// traffic over UDP (RFC 7011 wire format, template retransmission included)
+// through a faultnet schedule that corrupts every 7th datagram's header;
+// the collector counts and skips the damage, pushes surviving flows into
+// the runtime's bounded ingest queue, and a consumer goroutine classifies
+// them as they drain. At the end the run's aggregate is snapshotted with
+// the versioned checkpoint codec and read back — the artifact a multi-week
+// deployment would resume from after a crash.
 //
 //	go run ./examples/livefeed
 package main
@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"spoofscope"
@@ -35,50 +37,97 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cls := sim.Classifier()
+
+	dir, err := os.MkdirTemp("", "livefeed")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	start, _ := sim.Env().Scenario.Window()
+	rt, err := spoofscope.NewLiveRuntime(spoofscope.LiveRuntimeConfig{
+		Classifier: sim.Classifier(),
+		Members:    sim.Members(),
+		Start:      start, Bucket: time.Hour,
+		Queue:           spoofscope.QueueConfig{Capacity: 8192, ShedSeed: 5},
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 2000,
+	})
+	if err != nil {
+		return err
+	}
 
 	collector, err := ipfix.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	defer collector.Close()
 	log.Printf("collector listening on %s", collector.Addr())
 
 	flows := sim.Flows()
 	if len(flows) > 5000 {
 		flows = flows[:5000]
 	}
-	// Exporter goroutine. Errors are propagated to main over errc — a
-	// failed exporter must not kill the process from a goroutine and skip
-	// the collector's deferred cleanup.
+
+	// Consumer: drain the runtime until intake closes, alerting on the
+	// first few spoofed flows.
+	counts := map[spoofscope.Class]int{}
+	alerts := 0
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		rt.Run(nil, func(f spoofscope.Flow, v spoofscope.LiveVerdict) bool {
+			counts[v.Class]++
+			if v.Class != spoofscope.ClassValid && alerts < 8 {
+				alerts++
+				log.Printf("ALERT %-8s epoch=%d src=%s dst=%s port=%d ingress-member=%d",
+					v.Class, v.Epoch, f.SrcAddr, f.DstAddr, f.DstPort, f.Ingress)
+			}
+			return true
+		})
+	}()
+
+	// Exporter goroutine: errors propagate over errc — a failed exporter
+	// must not kill the process from a goroutine.
 	errc := make(chan error, 1)
 	go func() { errc <- export(collector.Addr().String(), flows) }()
 
-	counts := map[spoofscope.Class]int{}
-	alerts := 0
-	received := 0
+	// Collector → queue handoff: every decoded flow goes straight into the
+	// runtime's bounded queue; the consumer drains it concurrently.
 	deadline := time.Now().Add(5 * time.Second)
-	malformed, err := collector.Serve(deadline, func(f ipfix.Flow) {
-		received++
-		v := cls.Classify(f)
-		counts[v.Class]++
-		if v.Class != spoofscope.ClassValid && alerts < 8 {
-			alerts++
-			log.Printf("ALERT %-8s src=%s dst=%s port=%d ingress-member=%d",
-				v.Class, f.SrcAddr, f.DstAddr, f.DstPort, f.Ingress)
-		}
-	})
+	malformed, err := collector.Serve(deadline, rt.IngestFunc())
 	if err != nil {
 		return err
 	}
 	if err := <-errc; err != nil {
 		return fmt.Errorf("exporter: %w", err)
 	}
+	if err := collector.Shutdown(); err != nil {
+		return err
+	}
+	rt.Close() // stop intake; the consumer drains what is queued
+	<-consumerDone
 
-	stats := collector.Stats()
-	fmt.Printf("\nreceived %d flows over UDP; %d corrupted datagrams injected by faultnet were counted, not fatal\n",
-		received, malformed)
-	fmt.Printf("collector stats: flows=%d malformed=%d\n", stats.Flows, stats.Malformed)
+	// Snapshot the finished run and prove the checkpoint reads back.
+	if err := rt.Checkpoint(); err != nil {
+		return err
+	}
+	cp, err := spoofscope.ReadCheckpoint(ckpt)
+	if err != nil {
+		return err
+	}
+
+	cstats := collector.Stats()
+	rstats := rt.Stats()
+	fmt.Printf("\ncollector: flows=%d malformed=%d (corrupted datagrams counted, not fatal: %d this run)\n",
+		cstats.Flows, cstats.Malformed, malformed)
+	fmt.Printf("runtime:   epoch=%d processed=%d stale=%d checkpoints=%d\n",
+		rstats.Epoch, rstats.Processed, rstats.StaleVerdicts, rstats.Checkpoints)
+	fmt.Printf("queue:     ingested=%d queued=%d shed=%d high-watermark=%d\n",
+		rstats.Queue.Ingested, rstats.Queue.Queued, rstats.Queue.Shed,
+		rstats.Queue.HighWatermarkObserved)
+	fmt.Printf("checkpoint: %d flows / %d packets resumable from %s\n",
+		cp.Processed, cp.Agg.GrandTotal.Packets, filepath.Base(ckpt))
 	for _, c := range []spoofscope.Class{
 		spoofscope.ClassValid, spoofscope.ClassBogon,
 		spoofscope.ClassUnrouted, spoofscope.ClassInvalid,

@@ -73,3 +73,52 @@ func TestMRTReaderNeverPanics(t *testing.T) {
 func samplePrefix() netx.Prefix {
 	return sampleUpdate().NLRI[0]
 }
+
+// FuzzUnmarshalUpdate lets `go test -fuzz=FuzzUnmarshalUpdate ./internal/bgp`
+// explore the UPDATE body decoder; the corpus seeds a valid message.
+func FuzzUnmarshalUpdate(f *testing.F) {
+	valid, _ := sampleUpdate().Marshal()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		UnmarshalUpdate(b) //nolint:errcheck — only panics matter here
+	})
+}
+
+// FuzzMRT explores the MRT record framing and the BGP UPDATE / RIB-entry
+// decoders contained in it, mirroring ipfix's stream fuzz harness. The
+// corpus seeds one well-formed file holding a BGP4MP update and a TABLE_DUMP2
+// record.
+func FuzzMRT(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteUpdate(testTime, 1, 2, 3, 4, sampleUpdate())
+	w.WriteRIB(testTime, &RIBRecord{
+		Prefix:  samplePrefix(),
+		Entries: []RIBEntry{{Attrs: sampleUpdate().Attrs, OriginatedTime: testTime}},
+	})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Bound body lengths as TestMRTReaderNeverPanics does: a corrupt
+		// length field may demand gigabytes the reader should refuse.
+		r := NewReader(io.LimitReader(bytes.NewReader(b), int64(len(b))))
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break
+			}
+			// Exercise the consumers of each decoded record too.
+			rib := NewRIB()
+			switch {
+			case rec.BGP4MP != nil:
+				if u, err := UnmarshalUpdate(rec.BGP4MP.Message); err == nil {
+					rib.ApplyUpdate(u)
+				}
+			case rec.RIB != nil:
+				rib.ApplyRIBRecord(rec.RIB)
+			}
+		}
+	})
+}

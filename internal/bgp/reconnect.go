@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -59,15 +60,33 @@ type ReconnectorConfig struct {
 	// re-dials. The default (false) passes io.EOF through to the caller —
 	// right for finite replays like the examples.
 	ReconnectOnEOF bool
+	// Context, when non-nil, bounds the supervisor's lifetime: backoff
+	// sleeps and in-flight dials abort promptly when it is cancelled, and
+	// Recv returns the context's error instead of running timers out.
+	Context context.Context
 	// Dial overrides the transport dialer (tests wrap it in faultnet).
 	Dial func(addr string) (net.Conn, error)
+	// DialContext overrides the dialer with a cancellable variant; it wins
+	// over Dial when both are set. The default dialer honors Context.
+	DialContext func(ctx context.Context, addr string) (net.Conn, error)
 	// OnEstablish runs after every successful handshake, before any Recv on
 	// the new session — the hook where a collector resets its RIB so the
 	// peer's full replay rebuilds it from scratch. A non-nil error tears the
 	// session down and aborts Recv.
 	OnEstablish func(*Session) error
+	// OnFlap runs when an established session fails (after the flap is
+	// counted, before the re-dial) — the hook where a live runtime marks
+	// itself degraded until the replacement session's state is rebuilt.
+	OnFlap func(err error)
 	// Seed drives the jitter RNG, making backoff schedules reproducible.
 	Seed int64
+}
+
+func (c *ReconnectorConfig) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 func (c *ReconnectorConfig) initialBackoff() time.Duration {
@@ -125,8 +144,15 @@ type Reconnector struct {
 
 // NewReconnector builds a supervisor; no connection is made until Recv.
 func NewReconnector(cfg ReconnectorConfig) *Reconnector {
-	if cfg.Dial == nil {
-		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	if cfg.DialContext == nil {
+		if dial := cfg.Dial; dial != nil {
+			cfg.DialContext = func(_ context.Context, addr string) (net.Conn, error) { return dial(addr) }
+		} else {
+			var d net.Dialer
+			cfg.DialContext = func(ctx context.Context, addr string) (net.Conn, error) {
+				return d.DialContext(ctx, "tcp", addr)
+			}
+		}
 	}
 	return &Reconnector{
 		cfg:    cfg,
@@ -161,6 +187,9 @@ func (r *Reconnector) Recv() (*Update, error) {
 		r.flaps++
 		r.lastErr = err
 		r.mu.Unlock()
+		if r.cfg.OnFlap != nil {
+			r.cfg.OnFlap(err)
+		}
 		r.teardown(StateConnecting)
 	}
 }
@@ -228,9 +257,14 @@ func (r *Reconnector) ensure() (*Session, error) {
 	}
 	r.mu.Unlock()
 
+	ctx := r.cfg.ctx()
 	for attempt := 1; ; attempt++ {
 		if r.isClosed() {
 			return nil, net.ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			r.setState(StateIdle)
+			return nil, err
 		}
 		r.mu.Lock()
 		r.state = StateConnecting
@@ -253,16 +287,22 @@ func (r *Reconnector) ensure() (*Session, error) {
 			return nil, fmt.Errorf("bgp: giving up on %s after %d attempts: %w", r.cfg.Addr, attempt, err)
 		}
 		r.setState(StateBackoff)
+		t := time.NewTimer(r.nextBackoff(attempt))
 		select {
 		case <-r.closed:
+			t.Stop()
 			return nil, net.ErrClosed
-		case <-time.After(r.nextBackoff(attempt)):
+		case <-ctx.Done():
+			t.Stop()
+			r.setState(StateIdle)
+			return nil, ctx.Err()
+		case <-t.C:
 		}
 	}
 }
 
 func (r *Reconnector) establish() (*Session, error) {
-	conn, err := r.cfg.Dial(r.cfg.Addr)
+	conn, err := r.cfg.DialContext(r.cfg.ctx(), r.cfg.Addr)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/netx"
+)
+
+// Checkpoint is a crash-safe snapshot of a live run: the full aggregate
+// state plus the ingest cursor that positions a replay. Snapshots are taken
+// at quiescent points (empty ingest queue), so every flow the source
+// delivered before the cursor is accounted — either aggregated (Processed)
+// or deterministically shed (Shed) — and a resumed run that re-feeds the
+// source from flow index Ingested onward reproduces the uninterrupted run
+// exactly.
+type Checkpoint struct {
+	// Ingested / Queued / Shed mirror the ingest queue's counters at
+	// snapshot time; Ingested is the replay cursor.
+	Ingested uint64
+	Queued   uint64
+	Shed     uint64
+	// Processed counts flows aggregated (Queued minus nothing: the
+	// snapshot is quiescent, so every queued flow has been processed).
+	Processed uint64
+	// Epoch is the routing-state generation that was live at snapshot time.
+	Epoch Epoch
+	// Agg is the full aggregate state.
+	Agg *Aggregator
+}
+
+// Checkpoint wire format: magic, version, cursor block, then the aggregate
+// with every map written in sorted key order, so equal logical state always
+// encodes to identical bytes (the property the kill-and-resume acceptance
+// test asserts).
+const (
+	checkpointMagic   = "SPCK"
+	checkpointVersion = 1
+)
+
+type cpWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *cpWriter) u8(v uint8) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(v)
+	}
+}
+
+func (w *cpWriter) u16(v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *cpWriter) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *cpWriter) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *cpWriter) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *cpWriter) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *cpWriter) counter(c Counter) {
+	w.u64(c.Flows)
+	w.u64(c.Packets)
+	w.u64(c.Bytes)
+}
+
+type cpReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *cpReader) bytes(b []byte) {
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b)
+	}
+}
+
+func (r *cpReader) u8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+func (r *cpReader) u16() uint16 {
+	var b [2]byte
+	r.bytes(b[:])
+	return binary.BigEndian.Uint16(b[:])
+}
+
+func (r *cpReader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func (r *cpReader) u64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+func (r *cpReader) i64() int64 { return int64(r.u64()) }
+
+func (r *cpReader) counter() Counter {
+	return Counter{Flows: r.u64(), Packets: r.u64(), Bytes: r.u64()}
+}
+
+// count validates a declared element count against a sanity cap before the
+// decoder allocates for it — a corrupt count must not demand gigabytes.
+func (r *cpReader) count(what string) int {
+	n := r.u32()
+	const maxCount = 1 << 28
+	if n > maxCount && r.err == nil {
+		r.err = fmt.Errorf("core: checkpoint %s count %d exceeds sanity cap", what, n)
+	}
+	return int(n)
+}
+
+func sortedClasses[V any](m map[TrafficClass]V) []TrafficClass {
+	out := make([]TrafficClass, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAddrs[V any](m map[netx.Addr]V) []netx.Addr {
+	out := make([]netx.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EncodeCheckpoint writes cp to w in the versioned binary format. Equal
+// logical state encodes to identical bytes regardless of map iteration
+// order.
+func EncodeCheckpoint(out io.Writer, cp *Checkpoint) error {
+	w := &cpWriter{w: bufio.NewWriter(out)}
+	w.bytes([]byte(checkpointMagic))
+	w.u16(checkpointVersion)
+	w.u64(cp.Ingested)
+	w.u64(cp.Queued)
+	w.u64(cp.Shed)
+	w.u64(cp.Processed)
+	w.u64(uint64(cp.Epoch))
+
+	a := cp.Agg
+	w.i64(a.start.UnixNano())
+	w.i64(int64(a.bucket))
+	w.counter(a.GrandTotal)
+	w.u64(a.UnknownPorts)
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		w.counter(a.Total[c])
+	}
+
+	// Per-member stats, sorted by port.
+	ports := make([]uint32, 0, len(a.members))
+	for p := range a.members {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	w.u32(uint32(len(ports)))
+	for _, port := range ports {
+		m := a.members[port]
+		w.u32(port)
+		w.u32(uint32(m.ASN))
+		w.counter(m.Total)
+		for c := TrafficClass(0); c < numTrafficClasses; c++ {
+			w.counter(m.ByClass[c])
+		}
+		w.u64(m.RouterIPInvalid)
+		origins := make([]bgp.ASN, 0, len(m.InvalidOrigins))
+		for o := range m.InvalidOrigins {
+			origins = append(origins, o)
+		}
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		w.u32(uint32(len(origins)))
+		for _, o := range origins {
+			w.u32(uint32(o))
+			w.u64(m.InvalidOrigins[o])
+		}
+	}
+
+	// Time series per class.
+	w.u32(uint32(len(a.Series)))
+	for _, c := range sortedClasses(a.Series) {
+		s := a.Series[c]
+		w.u32(uint32(c))
+		w.u32(uint32(len(s)))
+		for _, v := range s {
+			w.u64(v)
+		}
+	}
+
+	// Size histograms per class, sizes sorted.
+	w.u32(uint32(len(a.SizeHist)))
+	for _, c := range sortedClasses(a.SizeHist) {
+		h := a.SizeHist[c]
+		sizes := make([]int, 0, len(h))
+		for s := range h {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		w.u32(uint32(c))
+		w.u32(uint32(len(sizes)))
+		for _, s := range sizes {
+			w.i64(int64(s))
+			w.u64(h[s])
+		}
+	}
+
+	// Port mix, sorted by (class, proto, dir, port).
+	keys := make([]PortKey, 0, len(a.Ports))
+	for k := range a.Ports {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.Class != kj.Class {
+			return ki.Class < kj.Class
+		}
+		if ki.Proto != kj.Proto {
+			return ki.Proto < kj.Proto
+		}
+		if ki.Dir != kj.Dir {
+			return ki.Dir < kj.Dir
+		}
+		return ki.Port < kj.Port
+	})
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.u32(uint32(k.Class))
+		w.u8(k.Proto)
+		w.u8(k.Dir)
+		w.u16(k.Port)
+		w.u64(a.Ports[k])
+	}
+
+	// /8 address-structure bins.
+	writeSlash8 := func(m map[TrafficClass]*[256]uint64) {
+		w.u32(uint32(len(m)))
+		for _, c := range sortedClasses(m) {
+			w.u32(uint32(c))
+			for _, v := range m[c] {
+				w.u64(v)
+			}
+		}
+	}
+	writeSlash8(a.Slash8Src)
+	writeSlash8(a.Slash8Dst)
+
+	// Destination fan-in per tracked class.
+	w.u32(uint32(len(a.FanIn)))
+	for _, c := range sortedClasses(a.FanIn) {
+		m := a.FanIn[c]
+		w.u32(uint32(c))
+		w.u32(uint32(len(m)))
+		for _, dst := range sortedAddrs(m) {
+			ds := m[dst]
+			w.u32(uint32(dst))
+			w.u64(ds.Packets)
+			w.u64(ds.SrcOverflow)
+			w.u32(uint32(len(ds.Srcs)))
+			for _, src := range sortedAddrs(ds.Srcs) {
+				w.u32(uint32(src))
+			}
+		}
+	}
+
+	// NTP trigger/response pair maps and series.
+	writePairs := func(m map[netx.Addr]map[netx.Addr]uint64) {
+		w.u32(uint32(len(m)))
+		for _, outer := range sortedAddrs(m) {
+			inner := m[outer]
+			w.u32(uint32(outer))
+			w.u32(uint32(len(inner)))
+			for _, in := range sortedAddrs(inner) {
+				w.u32(uint32(in))
+				w.u64(inner[in])
+			}
+		}
+	}
+	writePairs(a.TriggerPairs)
+	writePairs(a.ResponsePairs)
+	writeSeries := func(s []Counter) {
+		w.u32(uint32(len(s)))
+		for _, c := range s {
+			w.counter(c)
+		}
+	}
+	writeSeries(a.TriggerSeries)
+	writeSeries(a.ResponseSeries)
+
+	if w.err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", w.err)
+	}
+	return w.w.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint previously written by
+// EncodeCheckpoint, rejecting unknown magic or versions.
+func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
+	r := &cpReader{r: bufio.NewReader(in)}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if r.err == nil && string(magic[:]) != checkpointMagic {
+		return nil, fmt.Errorf("core: not a checkpoint (magic %q)", magic)
+	}
+	if v := r.u16(); r.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d", v)
+	}
+	cp := &Checkpoint{
+		Ingested:  r.u64(),
+		Queued:    r.u64(),
+		Shed:      r.u64(),
+		Processed: r.u64(),
+		Epoch:     Epoch(r.u64()),
+	}
+
+	start := time.Unix(0, r.i64()).UTC()
+	bucket := time.Duration(r.i64())
+	a := NewAggregator(start, bucket)
+	cp.Agg = a
+	a.GrandTotal = r.counter()
+	a.UnknownPorts = r.u64()
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		a.Total[c] = r.counter()
+	}
+
+	nMembers := r.count("member")
+	for i := 0; i < nMembers && r.err == nil; i++ {
+		port := r.u32()
+		m := &MemberStats{Port: port, ASN: bgp.ASN(r.u32())}
+		m.Total = r.counter()
+		for c := TrafficClass(0); c < numTrafficClasses; c++ {
+			m.ByClass[c] = r.counter()
+		}
+		m.RouterIPInvalid = r.u64()
+		nOrigins := r.count("origin")
+		m.InvalidOrigins = make(map[bgp.ASN]uint64, nOrigins)
+		for j := 0; j < nOrigins && r.err == nil; j++ {
+			o := bgp.ASN(r.u32())
+			m.InvalidOrigins[o] = r.u64()
+		}
+		a.members[port] = m
+	}
+
+	nSeries := r.count("series")
+	for i := 0; i < nSeries && r.err == nil; i++ {
+		c := TrafficClass(r.u32())
+		n := r.count("series bucket")
+		s := make([]uint64, n)
+		for j := range s {
+			s[j] = r.u64()
+		}
+		a.Series[c] = s
+	}
+
+	nHists := r.count("size histogram")
+	for i := 0; i < nHists && r.err == nil; i++ {
+		c := TrafficClass(r.u32())
+		n := r.count("size bin")
+		h := make(map[int]uint64, n)
+		for j := 0; j < n && r.err == nil; j++ {
+			size := int(r.i64())
+			h[size] = r.u64()
+		}
+		a.SizeHist[c] = h
+	}
+
+	nPorts := r.count("port-mix entry")
+	for i := 0; i < nPorts && r.err == nil; i++ {
+		k := PortKey{
+			Class: TrafficClass(r.u32()),
+			Proto: r.u8(),
+			Dir:   r.u8(),
+			Port:  r.u16(),
+		}
+		a.Ports[k] = r.u64()
+	}
+
+	readSlash8 := func(m map[TrafficClass]*[256]uint64) {
+		n := r.count("/8 class")
+		for i := 0; i < n && r.err == nil; i++ {
+			c := TrafficClass(r.u32())
+			var bins [256]uint64
+			for j := range bins {
+				bins[j] = r.u64()
+			}
+			m[c] = &bins
+		}
+	}
+	readSlash8(a.Slash8Src)
+	readSlash8(a.Slash8Dst)
+
+	nFanIn := r.count("fan-in class")
+	for i := 0; i < nFanIn && r.err == nil; i++ {
+		c := TrafficClass(r.u32())
+		nDst := r.count("fan-in destination")
+		m := make(map[netx.Addr]*DstStats, nDst)
+		for j := 0; j < nDst && r.err == nil; j++ {
+			dst := netx.Addr(r.u32())
+			ds := &DstStats{Packets: r.u64(), SrcOverflow: r.u64()}
+			nSrc := r.count("fan-in source")
+			ds.Srcs = make(map[netx.Addr]struct{}, nSrc)
+			for k := 0; k < nSrc && r.err == nil; k++ {
+				ds.Srcs[netx.Addr(r.u32())] = struct{}{}
+			}
+			m[dst] = ds
+		}
+		a.FanIn[c] = m
+	}
+
+	readPairs := func(dst map[netx.Addr]map[netx.Addr]uint64) {
+		n := r.count("pair")
+		for i := 0; i < n && r.err == nil; i++ {
+			outer := netx.Addr(r.u32())
+			nInner := r.count("pair entry")
+			inner := make(map[netx.Addr]uint64, nInner)
+			for j := 0; j < nInner && r.err == nil; j++ {
+				in := netx.Addr(r.u32())
+				inner[in] = r.u64()
+			}
+			dst[outer] = inner
+		}
+	}
+	readPairs(a.TriggerPairs)
+	readPairs(a.ResponsePairs)
+	readSeries := func() []Counter {
+		n := r.count("NTP series bucket")
+		if n == 0 {
+			return nil
+		}
+		s := make([]Counter, n)
+		for i := range s {
+			s[i] = r.counter()
+		}
+		return s
+	}
+	a.TriggerSeries = readSeries()
+	a.ResponseSeries = readSeries()
+
+	if r.err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", r.err)
+	}
+	return cp, nil
+}
+
+// WriteCheckpointFile atomically persists cp to path: the snapshot is
+// written to a temporary sibling, synced, and renamed into place, so a
+// crash mid-write leaves either the previous checkpoint or the new one —
+// never a torn file.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := EncodeCheckpoint(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+)
+
+var cpStart = time.Unix(1500000000, 0).UTC()
+
+// checkpointFlows exercises every aggregate dimension: valid, bogon,
+// unrouted, invalid, NTP trigger/response, and multiple members and
+// buckets.
+func checkpointFlows() []ipfix.Flow {
+	mk := func(src, dst string, port uint32, proto uint8, sp, dp uint16, bucket int) ipfix.Flow {
+		return ipfix.Flow{
+			Start:   cpStart.Add(time.Duration(bucket) * time.Hour),
+			SrcAddr: netx.MustParseAddr(src),
+			DstAddr: netx.MustParseAddr(dst),
+			SrcPort: sp, DstPort: dp, Protocol: proto,
+			Packets: 3, Bytes: 180,
+			Ingress: port,
+		}
+	}
+	return []ipfix.Flow{
+		mk("50.1.2.3", "60.1.0.9", 1, ipfix.ProtoTCP, 1234, 80, 0),  // valid
+		mk("10.0.0.1", "60.1.0.9", 1, ipfix.ProtoUDP, 53, 53, 0),    // bogon
+		mk("99.9.9.9", "60.1.0.9", 2, ipfix.ProtoTCP, 4000, 443, 1), // unrouted
+		mk("60.1.0.7", "50.1.0.9", 3, ipfix.ProtoUDP, 5000, 123, 1), // invalid NTP trigger
+		mk("50.1.9.9", "70.1.0.2", 1, ipfix.ProtoUDP, 123, 6000, 2), // valid NTP response
+		mk("80.0.0.1", "60.1.0.9", 2, ipfix.ProtoICMP, 0, 0, 2),     // non-member space
+	}
+}
+
+func checkpointAgg(t *testing.T) *Aggregator {
+	t.Helper()
+	p := testPipeline(t, Options{})
+	a := NewAggregator(cpStart, time.Hour)
+	for _, f := range checkpointFlows() {
+		a.Add(f, p.Classify(f))
+	}
+	return a
+}
+
+func encodeAgg(t *testing.T, cp *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Ingested: 10, Queued: 7, Shed: 3, Processed: 7, Epoch: 4,
+		Agg: checkpointAgg(t),
+	}
+	raw := encodeAgg(t, cp)
+
+	got, err := DecodeCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ingested != 10 || got.Queued != 7 || got.Shed != 3 || got.Processed != 7 || got.Epoch != 4 {
+		t.Fatalf("cursor diverged: %+v", got)
+	}
+	if !got.Agg.start.Equal(cpStart) || got.Agg.bucket != time.Hour {
+		t.Fatalf("aggregator clock diverged: start=%v bucket=%v", got.Agg.start, got.Agg.bucket)
+	}
+	if got.Agg.GrandTotal != cp.Agg.GrandTotal {
+		t.Fatalf("grand total diverged: %+v vs %+v", got.Agg.GrandTotal, cp.Agg.GrandTotal)
+	}
+
+	// The decoded state must re-encode to the identical bytes — the
+	// canonical-encoding property resume correctness rests on.
+	if again := encodeAgg(t, got); !bytes.Equal(raw, again) {
+		t.Fatalf("re-encoding diverged: %d vs %d bytes", len(raw), len(again))
+	}
+}
+
+// TestCheckpointCanonical asserts equal logical state encodes identically
+// regardless of the insertion order that built the maps.
+func TestCheckpointCanonical(t *testing.T) {
+	p := testPipeline(t, Options{})
+	flows := checkpointFlows()
+	fwd := NewAggregator(cpStart, time.Hour)
+	for _, f := range flows {
+		fwd.Add(f, p.Classify(f))
+	}
+	rev := NewAggregator(cpStart, time.Hour)
+	for i := len(flows) - 1; i >= 0; i-- {
+		rev.Add(flows[i], p.Classify(flows[i]))
+	}
+	a := encodeAgg(t, &Checkpoint{Agg: fwd})
+	b := encodeAgg(t, &Checkpoint{Agg: rev})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same logical state encoded differently across insertion orders")
+	}
+}
+
+func TestCheckpointRejectsCorruptHeader(t *testing.T) {
+	raw := encodeAgg(t, &Checkpoint{Agg: checkpointAgg(t)})
+
+	bad := append([]byte(nil), raw...)
+	copy(bad, "NOPE")
+	if _, err := DecodeCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("decoder accepted bad magic")
+	}
+
+	bad = append([]byte(nil), raw...)
+	bad[4], bad[5] = 0xFF, 0xFF
+	if _, err := DecodeCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("decoder accepted unknown version")
+	}
+
+	if _, err := DecodeCheckpoint(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("decoder accepted truncated input")
+	}
+}
+
+func TestCheckpointFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cp := &Checkpoint{Processed: 7, Agg: checkpointAgg(t)}
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Processed != 7 {
+		t.Fatalf("processed = %d, want 7", got.Processed)
+	}
+	// Overwrite with a later snapshot; the file must read back as the new
+	// state, not a torn mix.
+	cp.Processed = 9
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Processed != 9 {
+		t.Fatalf("processed after overwrite = %d, want 9", got.Processed)
+	}
+}

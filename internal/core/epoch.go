@@ -1,0 +1,30 @@
+package core
+
+// Epoch identifies one compiled generation of routing state. Every pipeline
+// promoted into the live runtime gets the next epoch number; verdicts carry
+// the epoch of the pipeline that produced them, so a multi-week run can
+// attribute every classification to the exact routing snapshot behind it —
+// the stale-state accounting the HAW reproducibility study found missing
+// from long passive runs.
+type Epoch uint64
+
+// LiveVerdict is a Verdict produced by the live runtime, tagged with the
+// provenance a continuous deployment needs and a batch run does not.
+type LiveVerdict struct {
+	Verdict
+	// Epoch is the routing-state generation of the pipeline that produced
+	// the verdict (1 for the first promoted pipeline; 0 never occurs — the
+	// runtime holds flows until a pipeline exists).
+	Epoch Epoch
+	// Stale marks verdicts produced while the routing feed was known to be
+	// degraded — the BGP session was down or a rebuild was pending — so the
+	// classifying pipeline may lag the true routing state. The verdict is
+	// still the best available answer; Stale says how much to trust it.
+	Stale bool
+}
+
+// epochState is the atomically-swapped pair behind the runtime's hot path.
+type epochState struct {
+	epoch    Epoch
+	pipeline *Pipeline
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Merge's algebraic properties underpin both ClassifyParallel (shard merge
+// order is scheduler-dependent) and checkpoint resume (a resumed run is a
+// merge of restored state and replayed tail). The canonical checkpoint
+// encoding is the equality oracle: two aggregators are equal iff they
+// encode to identical bytes.
+//
+// Merge steals maps from its argument, so every permutation builds fresh
+// shards; the caps (fanInCap, InvalidOrigins) stay unreached, as
+// order-independence only holds below them.
+
+// mergeShards builds per-shard aggregators over a fixed partition of the
+// checkpoint flow set, classifies with p, and merges them in the given
+// order.
+func mergeShards(t *testing.T, p *Pipeline, order []int) *Aggregator {
+	t.Helper()
+	flows := checkpointFlows()
+	bounds := [][2]int{{0, 2}, {2, 4}, {4, len(flows)}}
+	shards := make([]*Aggregator, len(bounds))
+	for i, b := range bounds {
+		shards[i] = NewAggregator(cpStart, time.Hour)
+		for _, f := range flows[b[0]:b[1]] {
+			shards[i].Add(f, p.Classify(f))
+		}
+	}
+	dst := NewAggregator(cpStart, time.Hour)
+	for _, i := range order {
+		dst.Merge(shards[i])
+	}
+	return dst
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	p := testPipeline(t, Options{})
+	want := encodeAgg(t, &Checkpoint{Agg: mergeShards(t, p, []int{0, 1, 2})})
+	for _, order := range [][]int{
+		{0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	} {
+		got := encodeAgg(t, &Checkpoint{Agg: mergeShards(t, p, order)})
+		if !bytes.Equal(want, got) {
+			t.Fatalf("merge order %v produced different state", order)
+		}
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	p := testPipeline(t, Options{})
+	seq := NewAggregator(cpStart, time.Hour)
+	for _, f := range checkpointFlows() {
+		seq.Add(f, p.Classify(f))
+	}
+	want := encodeAgg(t, &Checkpoint{Agg: seq})
+	got := encodeAgg(t, &Checkpoint{Agg: mergeShards(t, p, []int{0, 1, 2})})
+	if !bytes.Equal(want, got) {
+		t.Fatal("sharded merge diverged from sequential aggregation")
+	}
+}
+
+func TestMergeEmptyIsIdentity(t *testing.T) {
+	p := testPipeline(t, Options{})
+
+	// a.Merge(empty) leaves a unchanged.
+	a := mergeShards(t, p, []int{0, 1, 2})
+	want := encodeAgg(t, &Checkpoint{Agg: a})
+	a.Merge(NewAggregator(cpStart, time.Hour))
+	if got := encodeAgg(t, &Checkpoint{Agg: a}); !bytes.Equal(want, got) {
+		t.Fatal("merging an empty aggregator changed the state")
+	}
+
+	// empty.Merge(a) equals a.
+	empty := NewAggregator(cpStart, time.Hour)
+	empty.Merge(mergeShards(t, p, []int{0, 1, 2}))
+	if got := encodeAgg(t, &Checkpoint{Agg: empty}); !bytes.Equal(want, got) {
+		t.Fatal("merging into an empty aggregator diverged from the source")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+
+	"spoofscope/internal/ipfix"
+)
+
+// QueueConfig tunes the bounded ingest queue in front of the live runtime.
+type QueueConfig struct {
+	// Capacity bounds the queue (default 4096). A full queue always sheds.
+	Capacity int
+	// HighWatermark starts load-shedding when the depth reaches it
+	// (default 3/4 of Capacity); LowWatermark stops shedding once the
+	// consumer drains the depth back down to it (default 1/2 of Capacity).
+	// The hysteresis band keeps the queue from flapping in and out of
+	// shedding on every flow.
+	HighWatermark int
+	LowWatermark  int
+	// ShedSeed keys the deterministic shed decisions. Like faultnet's fault
+	// schedules, a decision depends only on (seed, arrival index), so a
+	// replay with the same arrival/drain interleaving sheds the same flows.
+	ShedSeed int64
+	// ShedFraction is the fraction of arrivals shed while above the
+	// watermark (default 1 = shed everything until the queue drains).
+	ShedFraction float64
+}
+
+func (c *QueueConfig) capacity() int {
+	if c.Capacity <= 0 {
+		return 4096
+	}
+	return c.Capacity
+}
+
+func (c *QueueConfig) highWatermark() int {
+	cap := c.capacity()
+	if c.HighWatermark <= 0 || c.HighWatermark > cap {
+		return cap * 3 / 4
+	}
+	return c.HighWatermark
+}
+
+func (c *QueueConfig) lowWatermark() int {
+	hi := c.highWatermark()
+	if c.LowWatermark <= 0 || c.LowWatermark > hi {
+		lo := c.capacity() / 2
+		if lo > hi {
+			lo = hi
+		}
+		return lo
+	}
+	return c.LowWatermark
+}
+
+func (c *QueueConfig) shedFraction() float64 {
+	if c.ShedFraction <= 0 || c.ShedFraction > 1 {
+		return 1
+	}
+	return c.ShedFraction
+}
+
+// QueueStats is a snapshot of the ingest queue's accounting. Every arrival
+// is either queued or shed; nothing is dropped silently.
+type QueueStats struct {
+	// Ingested counts arrivals offered to the queue.
+	Ingested uint64
+	// Queued counts arrivals accepted into the queue.
+	Queued uint64
+	// Shed counts arrivals dropped by the watermark policy (or a full
+	// queue). Shed flows are never classified or aggregated.
+	Shed uint64
+	// Depth is the current occupancy; HighWatermarkObserved is the maximum
+	// occupancy ever reached.
+	Depth                 int
+	HighWatermarkObserved int
+	// Shedding reports whether the queue is currently above the watermark
+	// hysteresis band and dropping.
+	Shedding bool
+}
+
+// IngestQueue is a bounded FIFO with watermark-based deterministic load
+// shedding. Push never blocks: past the high watermark (until the depth
+// drains to the low watermark) arrivals are shed by a decision keyed to
+// (seed, arrival index) — seeded and count-keyed like faultnet's fault
+// schedules — so a replay with the same interleaving is reproducible, and
+// every shed is accounted in QueueStats. Pop blocks until a flow arrives or
+// the queue is closed and empty; it is the runtime's single-consumer path.
+type IngestQueue struct {
+	cfg QueueConfig
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	ring     []ipfix.Flow
+	head     int
+	depth    int
+	closed   bool
+	shedding bool
+	stats    QueueStats
+}
+
+// NewIngestQueue builds an empty queue.
+func NewIngestQueue(cfg QueueConfig) *IngestQueue {
+	q := &IngestQueue{
+		cfg:  cfg,
+		ring: make([]ipfix.Flow, cfg.capacity()),
+	}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// shedKey maps (seed, arrival index) to [0, 1) via a splitmix64-style
+// finalizer. Pure function: the same seed and index always agree.
+func shedKey(seed int64, n uint64) float64 {
+	x := uint64(seed) ^ (n+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / (1 << 53)
+}
+
+// Push offers one flow. It reports whether the flow was queued; false means
+// it was shed (watermark policy or full queue) or the queue is closed.
+func (q *IngestQueue) Push(f ipfix.Flow) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	n := q.stats.Ingested
+	q.stats.Ingested++
+	if q.depth >= q.cfg.highWatermark() {
+		q.shedding = true
+	}
+	shed := q.depth >= len(q.ring) ||
+		(q.shedding && shedKey(q.cfg.ShedSeed, n) < q.cfg.shedFraction())
+	if shed {
+		q.stats.Shed++
+		return false
+	}
+	q.ring[(q.head+q.depth)%len(q.ring)] = f
+	q.depth++
+	q.stats.Queued++
+	if q.depth > q.stats.HighWatermarkObserved {
+		q.stats.HighWatermarkObserved = q.depth
+	}
+	if q.depth >= q.cfg.highWatermark() {
+		q.shedding = true
+	}
+	q.notEmpty.Signal()
+	return true
+}
+
+// Pop removes the oldest flow, blocking until one arrives. After Close it
+// keeps returning the remaining flows, then reports false once drained.
+func (q *IngestQueue) Pop() (ipfix.Flow, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.depth == 0 {
+		return ipfix.Flow{}, false
+	}
+	f := q.ring[q.head]
+	q.ring[q.head] = ipfix.Flow{}
+	q.head = (q.head + 1) % len(q.ring)
+	q.depth--
+	if q.shedding && q.depth <= q.cfg.lowWatermark() {
+		q.shedding = false
+	}
+	return f, true
+}
+
+// Depth returns the current occupancy.
+func (q *IngestQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Close stops intake: subsequent Pushes shed nothing and report false, and
+// Pop drains the remaining flows before reporting exhaustion.
+func (q *IngestQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (q *IngestQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Depth = q.depth
+	st.Shedding = q.shedding
+	return st
+}
+
+// restore seeds the arrival counters from a checkpoint so shed decisions
+// continue the same (seed, index) key sequence after a resume.
+func (q *IngestQueue) restore(ingested, queued, shed uint64) {
+	q.mu.Lock()
+	q.stats.Ingested = ingested
+	q.stats.Queued = queued
+	q.stats.Shed = shed
+	q.mu.Unlock()
+}

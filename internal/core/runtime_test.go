@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spoofscope/internal/ipfix"
+)
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRuntimeClassifiesAndTagsEpoch(t *testing.T) {
+	p := testPipeline(t, Options{})
+	rt, err := NewRuntime(RuntimeConfig{Pipeline: p, Start: cpStart, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range checkpointFlows() {
+		if !rt.Ingest(f) {
+			t.Fatal("ingest shed with an empty queue")
+		}
+	}
+	rt.Close()
+	n := 0
+	for {
+		f, v, ok := rt.Step()
+		if !ok {
+			break
+		}
+		if v.Epoch != 1 {
+			t.Fatalf("flow %d epoch = %d, want 1", n, v.Epoch)
+		}
+		if v.Stale {
+			t.Fatalf("flow %d marked stale with a healthy feed", n)
+		}
+		if v.Verdict != p.Classify(f) {
+			t.Fatalf("flow %d verdict diverged from direct classification", n)
+		}
+		n++
+	}
+	if n != len(checkpointFlows()) {
+		t.Fatalf("processed %d flows, want %d", n, len(checkpointFlows()))
+	}
+	st := rt.Stats()
+	if st.Epoch != 1 || st.Swaps != 1 || st.Processed != uint64(n) || st.Degraded {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRuntimeSwapAndStale(t *testing.T) {
+	p := testPipeline(t, Options{})
+	rt, err := NewRuntime(RuntimeConfig{Pipeline: p, Start: cpStart, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := checkpointFlows()
+
+	rt.Ingest(flows[0])
+	if _, v, _ := rt.Step(); v.Epoch != 1 || v.Stale {
+		t.Fatalf("healthy verdict = epoch %d stale %v", v.Epoch, v.Stale)
+	}
+
+	// Feed goes down: verdicts continue from the old state, marked Stale.
+	rt.MarkDegraded()
+	rt.Ingest(flows[1])
+	if _, v, _ := rt.Step(); v.Epoch != 1 || !v.Stale {
+		t.Fatalf("degraded verdict = epoch %d stale %v, want epoch 1 stale", v.Epoch, v.Stale)
+	}
+
+	// Rebuild promotes epoch 2 and clears the marker.
+	if e := rt.Swap(testPipeline(t, Options{})); e != 2 {
+		t.Fatalf("swap returned epoch %d, want 2", e)
+	}
+	rt.Ingest(flows[2])
+	if _, v, _ := rt.Step(); v.Epoch != 2 || v.Stale {
+		t.Fatalf("post-swap verdict = epoch %d stale %v, want epoch 2 fresh", v.Epoch, v.Stale)
+	}
+
+	st := rt.Stats()
+	if st.Epoch != 2 || st.Swaps != 2 || st.StaleVerdicts != 1 || st.Degraded {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRuntimeBlocksUntilFirstSwap starts with no routing state at all:
+// flows queue, and Step waits for the first promoted pipeline instead of
+// classifying against nothing.
+func TestRuntimeBlocksUntilFirstSwap(t *testing.T) {
+	rt, err := NewRuntime(RuntimeConfig{Start: cpStart, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Ingest(checkpointFlows()[0])
+
+	type result struct {
+		v  LiveVerdict
+		ok bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, v, ok := rt.Step()
+		done <- result{v, ok}
+	}()
+	select {
+	case <-done:
+		t.Fatal("Step returned before any pipeline was promoted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rt.Swap(testPipeline(t, Options{}))
+	select {
+	case r := <-done:
+		if !r.ok || r.v.Epoch != 1 {
+			t.Fatalf("first verdict = %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Step still blocked after the first Swap")
+	}
+}
+
+func TestRuntimeRunWithContext(t *testing.T) {
+	p := testPipeline(t, Options{})
+	rt, err := NewRuntime(RuntimeConfig{Pipeline: p, Start: cpStart, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range checkpointFlows() {
+		rt.Ingest(f)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	errc := make(chan error, 1)
+	go func() {
+		errc <- rt.Run(ctx, func(f ipfix.Flow, v LiveVerdict) bool {
+			n++
+			if n == 3 {
+				cancel()
+			}
+			return true
+		})
+	}()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if n < 3 {
+		t.Fatalf("observed %d flows before cancel, want >= 3", n)
+	}
+}
+
+// TestRuntimeCheckpointResume is the in-package half of the kill-and-resume
+// property: checkpoint, drop the runtime, resume, replay the tail, and the
+// final snapshots are byte-identical to an uninterrupted run's.
+func TestRuntimeCheckpointResume(t *testing.T) {
+	flows := checkpointFlows()
+	dir := t.TempDir()
+	mk := func(name string, resume *Checkpoint) *Runtime {
+		rt, err := NewRuntime(RuntimeConfig{
+			Pipeline: testPipeline(t, Options{}),
+			Start:    cpStart, Bucket: time.Hour,
+			CheckpointPath: filepath.Join(dir, name),
+			Resume:         resume,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	feed := func(rt *Runtime, flows []ipfix.Flow) {
+		for _, f := range flows {
+			rt.Ingest(f)
+			rt.Step()
+		}
+	}
+
+	// Uninterrupted reference run.
+	ref := mk("ref.ckpt", nil)
+	feed(ref, flows)
+	if err := ref.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint after 3 flows, then "crash".
+	crash := mk("crash.ckpt", nil)
+	feed(crash, flows[:3])
+	if err := crash.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFile(filepath.Join(dir, "crash.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Ingested != 3 || cp.Processed != 3 {
+		t.Fatalf("cursor = %+v, want 3 ingested / 3 processed", cp)
+	}
+
+	// Resume in a fresh runtime, re-feeding from the cursor.
+	res := mk("crash.ckpt", cp)
+	feed(res, flows[cp.Ingested:])
+	if err := res.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := mustRead(t, filepath.Join(dir, "ref.ckpt"))
+	b := mustRead(t, filepath.Join(dir, "crash.ckpt"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed run's checkpoint differs from the uninterrupted run's")
+	}
+	if got := res.Stats(); got.Processed != uint64(len(flows)) {
+		t.Fatalf("resumed processed = %d, want %d", got.Processed, len(flows))
+	}
+}

@@ -235,3 +235,70 @@ func TestUDPCollectorCountsCorruptDatagrams(t *testing.T) {
 		t.Fatalf("received %d + malformed %d < sent %d", received, injected, sent)
 	}
 }
+
+// TestUDPCollectorShutdownVsClose: Shutdown must unblock a Serve with no
+// deadline and report an orderly stop (nil error), while a bare Close
+// surfaces the socket error — parity with the TCP collector's contract.
+func TestUDPCollectorShutdownVsClose(t *testing.T) {
+	col, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := DialUDP(col.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(t0, []Flow{sampleFlow(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan int, 1)
+	serveDone := make(chan error, 1)
+	go func() {
+		n := 0
+		_, err := col.Serve(time.Time{}, func(Flow) { n++ })
+		got <- n
+		serveDone <- err
+	}()
+	// Wait until the flow arrives so Serve is provably mid-loop, then stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Stats().Flows == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := col.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve after Shutdown = %v, want nil (orderly stop)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked after Shutdown")
+	}
+	if n := <-got; n == 0 {
+		t.Fatal("flow sent before shutdown was not delivered")
+	}
+
+	// Close (no Shutdown) must surface the socket error instead.
+	col2, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone2 := make(chan error, 1)
+	go func() {
+		_, err := col2.Serve(time.Time{}, func(Flow) {})
+		serveDone2 <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	col2.Close()
+	select {
+	case err := <-serveDone2:
+		if err == nil {
+			t.Fatal("Serve after bare Close = nil, want the socket error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked after Close")
+	}
+}

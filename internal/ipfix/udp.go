@@ -63,8 +63,9 @@ type UDPCollector struct {
 	conn *net.UDPConn
 	dec  *Decoder
 
-	mu    sync.Mutex
-	stats CollectorStats
+	mu     sync.Mutex
+	closed bool
+	stats  CollectorStats
 }
 
 // ListenUDP binds a collector to addr. Use port 0 for an ephemeral port and
@@ -101,6 +102,13 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				return malformed, nil
 			}
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				// Orderly Shutdown, not a socket failure.
+				return malformed, nil
+			}
 			return malformed, err
 		}
 		batch, derr := c.dec.Decode(buf[:n], flows[:0])
@@ -121,8 +129,20 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 	}
 }
 
-// Close closes the socket, unblocking Serve.
+// Close closes the socket, unblocking Serve. Serve reports the closed
+// socket as an error; use Shutdown for an orderly stop.
 func (c *UDPCollector) Close() error { return c.conn.Close() }
+
+// Shutdown stops the collector cleanly: it closes the socket to unblock
+// Serve, which then returns nil instead of the socket-closed error —
+// parity with TCPCollector, distinguishing an orderly stop from a socket
+// failure.
+func (c *UDPCollector) Shutdown() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
 
 // Stats returns the collector's health counters (Connections stays zero:
 // UDP has no connections to count).

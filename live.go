@@ -1,0 +1,185 @@
+package spoofscope
+
+// The live runtime facade: the deployment mode the paper's conclusion
+// proposes, wrapping internal/core's epoch-versioned runtime and
+// internal/bgp's snapshot feed in the package's public vocabulary. A
+// LiveRuntime classifies a continuous flow stream against hot-swappable
+// routing state, sheds load deterministically under pressure, and
+// checkpoints its aggregate state so a crash mid-run resumes exactly.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+)
+
+// Live-runtime types, re-exported from internal/core.
+type (
+	// Epoch identifies one promoted generation of routing state.
+	Epoch = core.Epoch
+	// LiveVerdict is a Verdict tagged with the producing epoch and a
+	// staleness marker.
+	LiveVerdict = core.LiveVerdict
+	// QueueConfig tunes the bounded ingest queue (capacity, watermarks,
+	// shed seed).
+	QueueConfig = core.QueueConfig
+	// QueueStats is the ingest queue's accounting snapshot.
+	QueueStats = core.QueueStats
+	// RuntimeStats is the live runtime's health snapshot.
+	RuntimeStats = core.RuntimeStats
+	// Checkpoint is a crash-safe snapshot of a live run.
+	Checkpoint = core.Checkpoint
+	// Aggregator accumulates the paper's aggregate analyses in one pass.
+	Aggregator = core.Aggregator
+)
+
+// ReadCheckpoint loads a checkpoint file written by a LiveRuntime (or
+// cmd/classify's -checkpoint flag).
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	return core.ReadCheckpointFile(path)
+}
+
+// LiveRuntimeConfig assembles a LiveRuntime.
+type LiveRuntimeConfig struct {
+	// Classifier seeds the first epoch (optional: with nil, classification
+	// blocks until the first SwapClassifier / BGP snapshot promotes one).
+	Classifier *Classifier
+	// Members is the IXP member table, reused when BGP snapshots rebuild
+	// the pipeline.
+	Members []Member
+	// Options tunes every pipeline built for this runtime.
+	Options ClassifierOptions
+	// Start and Bucket configure the aggregate time series.
+	Start  time.Time
+	Bucket time.Duration
+	// Queue bounds ingest with deterministic watermark shedding.
+	Queue QueueConfig
+	// CheckpointPath and CheckpointEvery enable periodic crash-safe
+	// snapshots (every N processed flows, written atomically).
+	CheckpointPath  string
+	CheckpointEvery uint64
+	// Resume restores a prior run's checkpoint; the flow source must be
+	// re-fed from index Resume.Ingested onward.
+	Resume *Checkpoint
+}
+
+// LiveRuntime is the continuous classification engine: collectors push
+// flows in via Ingest (never blocking — overload sheds deterministically),
+// a consumer drains verdicts via Step or Run, and a BGP feed promotes fresh
+// routing state between flows via SwapClassifier or ServeBGP.
+type LiveRuntime struct {
+	rt      *core.Runtime
+	members []Member
+	opts    ClassifierOptions
+}
+
+// NewLiveRuntime builds the runtime.
+func NewLiveRuntime(cfg LiveRuntimeConfig) (*LiveRuntime, error) {
+	var p *core.Pipeline
+	if cfg.Classifier != nil {
+		p = cfg.Classifier.Pipeline()
+	}
+	rt, err := core.NewRuntime(core.RuntimeConfig{
+		Pipeline: p,
+		Start:    cfg.Start, Bucket: cfg.Bucket,
+		Queue:           cfg.Queue,
+		CheckpointPath:  cfg.CheckpointPath,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Resume:          cfg.Resume,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveRuntime{rt: rt, members: cfg.Members, opts: cfg.Options}, nil
+}
+
+// Ingest offers one flow; false reports it was shed or the runtime closed.
+// Collectors plug in directly: `col.Serve(deadline, func(f Flow) { lr.Ingest(f) })`.
+func (lr *LiveRuntime) Ingest(f Flow) bool { return lr.rt.Ingest(f) }
+
+// IngestFunc adapts Ingest to the collector callback signature.
+func (lr *LiveRuntime) IngestFunc() func(Flow) { return lr.rt.IngestFunc() }
+
+// Step consumes one flow: it blocks until a flow (and a promoted
+// classifier) is available and reports false once the runtime is closed
+// and drained.
+func (lr *LiveRuntime) Step() (Flow, LiveVerdict, bool) { return lr.rt.Step() }
+
+// Run consumes flows until ctx is cancelled or the runtime is closed and
+// drained; fn (optional) observes every verdict and may stop the loop.
+func (lr *LiveRuntime) Run(ctx context.Context, fn func(Flow, LiveVerdict) bool) error {
+	return lr.rt.Run(ctx, fn)
+}
+
+// SwapClassifier promotes a rebuilt classifier as the next epoch and clears
+// the degraded marker.
+func (lr *LiveRuntime) SwapClassifier(c *Classifier) Epoch {
+	return lr.rt.Swap(c.Pipeline())
+}
+
+// MarkDegraded flags the routing feed as stale; verdicts carry Stale=true
+// until the next swap.
+func (lr *LiveRuntime) MarkDegraded() { lr.rt.MarkDegraded() }
+
+// Close stops intake; queued flows drain through Step first.
+func (lr *LiveRuntime) Close() { lr.rt.Close() }
+
+// Checkpoint forces a snapshot now (the queue must be drained).
+func (lr *LiveRuntime) Checkpoint() error { return lr.rt.Checkpoint() }
+
+// Stats snapshots the runtime's health counters.
+func (lr *LiveRuntime) Stats() RuntimeStats { return lr.rt.Stats() }
+
+// Aggregator exposes the aggregate state; do not race it with Step.
+func (lr *LiveRuntime) Aggregator() *Aggregator { return lr.rt.Aggregator() }
+
+// BGPFeedConfig wires a live route-server session into the runtime.
+type BGPFeedConfig struct {
+	// Addr is the route server to dial.
+	Addr string
+	// Session configures the BGP handshake.
+	Session bgp.SessionConfig
+	// Reconnect tunes supervision (backoff, attempts, context, dialer);
+	// Addr and Session above override the corresponding fields.
+	Reconnect bgp.ReconnectorConfig
+	// MaxEpochs, when > 0, stops the feed after that many promoted
+	// snapshots (tests and finite replays; 0 = run until closed).
+	MaxEpochs int
+}
+
+// ServeBGP runs a supervised BGP feed that rebuilds and promotes the
+// classifier on every complete table replay: session flaps mark the runtime
+// degraded, each full replay compiles a fresh pipeline off the hot path and
+// swaps it in. Blocks until the feed stops; run it in its own goroutine
+// alongside Run.
+func (lr *LiveRuntime) ServeBGP(cfg BGPFeedConfig) error {
+	rcfg := cfg.Reconnect
+	rcfg.Addr = cfg.Addr
+	rcfg.Session = cfg.Session
+	epochs := 0
+	var rebuildErr error
+	feed := bgp.NewFeed(bgp.FeedConfig{
+		Reconnector: rcfg,
+		OnGap:       func(error) { lr.rt.MarkDegraded() },
+		OnSnapshot: func(rib *bgp.RIB) bool {
+			// Off the hot path: classification continues on the old epoch
+			// (possibly marked stale) while the new pipeline compiles.
+			cls, err := NewClassifierFromRIB(rib, lr.members, lr.opts)
+			if err != nil {
+				rebuildErr = fmt.Errorf("spoofscope: rebuilding pipeline: %w", err)
+				return false
+			}
+			lr.SwapClassifier(cls)
+			epochs++
+			return cfg.MaxEpochs <= 0 || epochs < cfg.MaxEpochs
+		},
+	})
+	err := feed.Run()
+	if rebuildErr != nil {
+		return rebuildErr
+	}
+	return err
+}
