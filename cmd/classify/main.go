@@ -137,7 +137,7 @@ func main() {
 	snapshot := func() {
 		cp := &core.Checkpoint{
 			Ingested: uint64(n), Queued: uint64(n), Processed: uint64(n),
-			Epoch: 1, Agg: agg,
+			Epoch: 1, Swaps: 1, Agg: agg,
 		}
 		if err := core.WriteCheckpointFile(*ckptPath, cp); err != nil {
 			log.Fatal(err)

@@ -29,8 +29,16 @@ type Checkpoint struct {
 	// Processed counts flows aggregated (Queued minus nothing: the
 	// snapshot is quiescent, so every queued flow has been processed).
 	Processed uint64
-	// Epoch is the routing-state generation that was live at snapshot time.
+	// Epoch is the routing-state generation that was live at snapshot time;
+	// Swaps counts the promotions that produced it.
 	Epoch Epoch
+	Swaps uint64
+	// Degraded records whether the routing feed was known stale at snapshot
+	// time — a resumed run carries the open feed gap forward instead of
+	// silently unmarking its verdicts fresh — and StaleVerdicts counts the
+	// verdicts issued while degraded, so RuntimeStats survive the crash.
+	Degraded      bool
+	StaleVerdicts uint64
 	// Agg is the full aggregate state.
 	Agg *Aggregator
 }
@@ -169,6 +177,13 @@ func EncodeCheckpoint(out io.Writer, cp *Checkpoint) error {
 	w.u64(cp.Shed)
 	w.u64(cp.Processed)
 	w.u64(uint64(cp.Epoch))
+	w.u64(cp.Swaps)
+	w.u64(cp.StaleVerdicts)
+	if cp.Degraded {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
 
 	a := cp.Agg
 	w.i64(a.start.UnixNano())
@@ -336,11 +351,22 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: unsupported checkpoint version %d", v)
 	}
 	cp := &Checkpoint{
-		Ingested:  r.u64(),
-		Queued:    r.u64(),
-		Shed:      r.u64(),
-		Processed: r.u64(),
-		Epoch:     Epoch(r.u64()),
+		Ingested:      r.u64(),
+		Queued:        r.u64(),
+		Shed:          r.u64(),
+		Processed:     r.u64(),
+		Epoch:         Epoch(r.u64()),
+		Swaps:         r.u64(),
+		StaleVerdicts: r.u64(),
+	}
+	switch d := r.u8(); d {
+	case 0:
+	case 1:
+		cp.Degraded = true
+	default:
+		if r.err == nil {
+			return nil, fmt.Errorf("core: checkpoint degraded flag %d is not a bool", d)
+		}
 	}
 
 	start := time.Unix(0, r.i64()).UTC()

@@ -59,6 +59,7 @@ func encodeAgg(t *testing.T, cp *Checkpoint) []byte {
 func TestCheckpointRoundTrip(t *testing.T) {
 	cp := &Checkpoint{
 		Ingested: 10, Queued: 7, Shed: 3, Processed: 7, Epoch: 4,
+		Swaps: 4, Degraded: true, StaleVerdicts: 2,
 		Agg: checkpointAgg(t),
 	}
 	raw := encodeAgg(t, cp)
@@ -69,6 +70,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if got.Ingested != 10 || got.Queued != 7 || got.Shed != 3 || got.Processed != 7 || got.Epoch != 4 {
 		t.Fatalf("cursor diverged: %+v", got)
+	}
+	if got.Swaps != 4 || !got.Degraded || got.StaleVerdicts != 2 {
+		t.Fatalf("degradation state diverged: %+v", got)
 	}
 	if !got.Agg.start.Equal(cpStart) || got.Agg.bucket != time.Hour {
 		t.Fatalf("aggregator clock diverged: start=%v bucket=%v", got.Agg.start, got.Agg.bucket)

@@ -10,6 +10,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,12 @@ type RuntimeStats struct {
 	// snapshots written.
 	Processed   uint64
 	Checkpoints uint64
+	// CheckpointErrors counts snapshot attempts that failed to persist;
+	// LastCheckpointError is the most recent failure (empty once a later
+	// snapshot succeeds). A disk-full or unwritable path would otherwise
+	// silently disable crash-safety while the run kept going.
+	CheckpointErrors    uint64
+	LastCheckpointError string
 	// Queue is the ingest queue's accounting (shed, queued, high
 	// watermark).
 	Queue QueueStats
@@ -79,18 +86,24 @@ type Runtime struct {
 	firstEpoch chan struct{}
 	swapMu     sync.Mutex
 	lastEpoch  Epoch
+	promoted   bool // a pipeline has been promoted (firstEpoch closed); under swapMu
 
-	mu          sync.Mutex // guards agg, processed, sinceCkpt, checkpoints
+	mu          sync.Mutex // guards agg, processed, sinceCkpt, checkpoints, ckptErrors, lastCkptErr
 	agg         *Aggregator
 	processed   uint64
 	sinceCkpt   uint64
 	checkpoints uint64
+	ckptErrors  uint64
+	lastCkptErr error
 }
 
 // NewRuntime builds a runtime. With cfg.Resume set, the aggregate state and
 // ingest counters continue from the checkpoint; cfg.Pipeline (if non-nil)
 // is promoted as the checkpoint's epoch, since it must be rebuilt from the
-// same routing state the resumed run had.
+// same routing state the resumed run had. The checkpoint's degradation
+// state (Degraded, StaleVerdicts, Swaps) carries forward too: a run that
+// crashed while its routing feed was down resumes degraded — the feed gap
+// is still open — until a live feed promotes fresh state.
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:        cfg,
@@ -108,11 +121,25 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		}
 		rt.agg = cp.Agg
 		rt.processed = cp.Processed
+		rt.stale.Store(cp.StaleVerdicts)
+		rt.swaps.Store(cp.Swaps)
 		rt.lastEpoch = cp.Epoch
 		if cp.Epoch > 0 {
 			rt.lastEpoch = cp.Epoch - 1 // the next Swap re-promotes it
 		}
 		rt.queue.restore(cp.Ingested, cp.Queued, cp.Shed)
+		if cfg.Pipeline != nil {
+			rt.Swap(cfg.Pipeline)
+			if cp.Epoch > 0 {
+				// That Swap re-promoted the checkpointed epoch, not a new
+				// generation: it is not a fresh swap, and it must not clear
+				// a degradation the crashed run had open — the feed gap is
+				// still open until a live feed delivers a new snapshot.
+				rt.swaps.Store(cp.Swaps)
+			}
+		}
+		rt.degraded.Store(cp.Degraded)
+		return rt, nil
 	}
 	if cfg.Pipeline != nil {
 		rt.Swap(cfg.Pipeline)
@@ -138,11 +165,14 @@ func (rt *Runtime) Swap(p *Pipeline) Epoch {
 	rt.swapMu.Lock()
 	rt.lastEpoch++
 	e := rt.lastEpoch
-	first := e == 1
 	rt.state.Store(&epochState{epoch: e, pipeline: p})
 	rt.degraded.Store(false)
 	rt.swaps.Add(1)
-	if first {
+	// The gate tracks "this Runtime has a pipeline", not epoch numbering: on
+	// resume the first Swap re-promotes the checkpoint's epoch, which may be
+	// any value > 1.
+	if !rt.promoted {
+		rt.promoted = true
 		close(rt.firstEpoch)
 	}
 	rt.swapMu.Unlock()
@@ -178,7 +208,10 @@ func (rt *Runtime) Step() (ipfix.Flow, LiveVerdict, bool) {
 	rt.processed++
 	rt.sinceCkpt++
 	if rt.cfg.CheckpointEvery > 0 && rt.cfg.CheckpointPath != "" &&
-		rt.sinceCkpt >= rt.cfg.CheckpointEvery && rt.queue.Depth() == 0 {
+		rt.sinceCkpt >= rt.cfg.CheckpointEvery {
+		// Not-quiescent just defers to the next Step (sinceCkpt keeps the
+		// snapshot due); write failures are accounted in CheckpointErrors /
+		// LastCheckpointError by checkpointLocked itself.
 		rt.checkpointLocked()
 	}
 	rt.mu.Unlock()
@@ -211,6 +244,10 @@ func (rt *Runtime) Run(ctx context.Context, fn func(ipfix.Flow, LiveVerdict) boo
 // them until the queue drains, then reports false.
 func (rt *Runtime) Close() { rt.queue.Close() }
 
+// errNotQuiescent reports a checkpoint attempt against a non-empty queue;
+// the periodic path treats it as "retry at the next Step", not a failure.
+var errNotQuiescent = errors.New("core: checkpoint requires a drained queue")
+
 // Checkpoint forces a snapshot now. The queue must be empty (quiescent),
 // otherwise the replay cursor would not uniquely position a resume.
 func (rt *Runtime) Checkpoint() error {
@@ -219,28 +256,40 @@ func (rt *Runtime) Checkpoint() error {
 	if rt.cfg.CheckpointPath == "" {
 		return fmt.Errorf("core: no checkpoint path configured")
 	}
-	if d := rt.queue.Depth(); d != 0 {
-		return fmt.Errorf("core: checkpoint requires a drained queue (%d flows pending)", d)
-	}
 	return rt.checkpointLocked()
 }
 
-// checkpointLocked snapshots under rt.mu at a quiescent point.
+// checkpointLocked snapshots under rt.mu. The quiescence check and the
+// counter read come from one atomic queue snapshot: a producer Push between
+// a separate Depth()==0 check and a Stats() read could advance the Ingested
+// cursor past a flow that was queued but never processed, and a resume
+// would silently skip it. Write failures are accounted (CheckpointErrors,
+// LastCheckpointError) so a persistent one cannot silently disable
+// crash-safety.
 func (rt *Runtime) checkpointLocked() error {
 	qs := rt.queue.Stats()
+	if qs.Depth != 0 {
+		return fmt.Errorf("%w (%d flows pending)", errNotQuiescent, qs.Depth)
+	}
 	cp := &Checkpoint{
-		Ingested:  qs.Ingested,
-		Queued:    qs.Queued,
-		Shed:      qs.Shed,
-		Processed: rt.processed,
-		Epoch:     rt.currentEpoch(),
-		Agg:       rt.agg,
+		Ingested:      qs.Ingested,
+		Queued:        qs.Queued,
+		Shed:          qs.Shed,
+		Processed:     rt.processed,
+		Epoch:         rt.currentEpoch(),
+		Swaps:         rt.swaps.Load(),
+		StaleVerdicts: rt.stale.Load(),
+		Degraded:      rt.degraded.Load(),
+		Agg:           rt.agg,
 	}
 	if err := WriteCheckpointFile(rt.cfg.CheckpointPath, cp); err != nil {
+		rt.ckptErrors++
+		rt.lastCkptErr = err
 		return err
 	}
 	rt.sinceCkpt = 0
 	rt.checkpoints++
+	rt.lastCkptErr = nil
 	return nil
 }
 
@@ -263,14 +312,20 @@ func (rt *Runtime) Aggregator() *Aggregator {
 func (rt *Runtime) Stats() RuntimeStats {
 	rt.mu.Lock()
 	processed, checkpoints := rt.processed, rt.checkpoints
+	ckptErrors, lastCkptErr := rt.ckptErrors, ""
+	if rt.lastCkptErr != nil {
+		lastCkptErr = rt.lastCkptErr.Error()
+	}
 	rt.mu.Unlock()
 	return RuntimeStats{
-		Epoch:         rt.currentEpoch(),
-		Swaps:         rt.swaps.Load(),
-		Degraded:      rt.degraded.Load(),
-		StaleVerdicts: rt.stale.Load(),
-		Processed:     processed,
-		Checkpoints:   checkpoints,
-		Queue:         rt.queue.Stats(),
+		Epoch:               rt.currentEpoch(),
+		Swaps:               rt.swaps.Load(),
+		Degraded:            rt.degraded.Load(),
+		StaleVerdicts:       rt.stale.Load(),
+		Processed:           processed,
+		Checkpoints:         checkpoints,
+		CheckpointErrors:    ckptErrors,
+		LastCheckpointError: lastCkptErr,
+		Queue:               rt.queue.Stats(),
 	}
 }

@@ -224,3 +224,174 @@ func TestRuntimeCheckpointResume(t *testing.T) {
 		t.Fatalf("resumed processed = %d, want %d", got.Processed, len(flows))
 	}
 }
+
+// TestRuntimeResumeAtLaterEpoch is the regression for the firstEpoch gate:
+// a checkpoint taken after a BGP-driven swap resumes at epoch >= 2, and the
+// re-promoting Swap must still unblock Step (the gate tracks "a pipeline
+// exists", not "the epoch number is 1").
+func TestRuntimeResumeAtLaterEpoch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	rt, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Swap(testPipeline(t, Options{})) // epoch 2, as after a BGP flap rebuild
+	flows := checkpointFlows()
+	rt.Ingest(flows[0])
+	rt.Step()
+	if err := rt.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch != 2 || cp.Swaps != 2 {
+		t.Fatalf("checkpoint epoch/swaps = %d/%d, want 2/2", cp.Epoch, cp.Swaps)
+	}
+
+	res, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		CheckpointPath: path,
+		Resume:         cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Ingest(flows[1])
+	done := make(chan LiveVerdict, 1)
+	go func() {
+		_, v, ok := res.Step()
+		if ok {
+			done <- v
+		}
+	}()
+	select {
+	case v := <-done:
+		if v.Epoch != 2 {
+			t.Fatalf("resumed verdict epoch = %d, want 2", v.Epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Step deadlocked after resuming at epoch 2")
+	}
+	if st := res.Stats(); st.Epoch != 2 || st.Swaps != 2 {
+		t.Fatalf("resumed stats = %+v, want epoch 2 with 2 swaps", st)
+	}
+}
+
+// TestRuntimeResumeCarriesDegradation: a run that crashes while its routing
+// feed is down must resume degraded — the feed gap is still open — with the
+// stale-verdict count intact, until a genuinely fresh Swap clears it.
+func TestRuntimeResumeCarriesDegradation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	rt, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := checkpointFlows()
+	rt.MarkDegraded()
+	rt.Ingest(flows[0])
+	rt.Step()
+	if err := rt.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Degraded || cp.StaleVerdicts != 1 {
+		t.Fatalf("checkpoint degradation = %v/%d, want true/1", cp.Degraded, cp.StaleVerdicts)
+	}
+
+	res, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.Stats(); !st.Degraded || st.StaleVerdicts != 1 {
+		t.Fatalf("resumed stats = %+v, want degraded with 1 stale verdict", st)
+	}
+	res.Ingest(flows[1])
+	if _, v, _ := res.Step(); !v.Stale {
+		t.Fatal("post-resume verdict unmarked fresh while the feed gap is still open")
+	}
+	res.Swap(testPipeline(t, Options{})) // fresh state finally arrives
+	res.Ingest(flows[2])
+	if _, v, _ := res.Step(); v.Stale {
+		t.Fatal("verdict still stale after a fresh swap")
+	}
+	if st := res.Stats(); st.Degraded || st.StaleVerdicts != 2 {
+		t.Fatalf("post-swap stats = %+v, want fresh with 2 stale verdicts", st)
+	}
+}
+
+// TestRuntimeCheckpointErrorSurfaced: a persistent snapshot-write failure
+// must not silently disable crash-safety — the run keeps classifying, and
+// the failure shows up in the stats an operator watches.
+func TestRuntimeCheckpointErrorSurfaced(t *testing.T) {
+	rt, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		CheckpointPath:  filepath.Join(t.TempDir(), "no", "such", "dir", "run.ckpt"),
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := checkpointFlows()
+	for _, f := range flows[:2] {
+		rt.Ingest(f)
+		if _, _, ok := rt.Step(); !ok {
+			t.Fatal("Step stopped on a checkpoint write failure")
+		}
+	}
+	st := rt.Stats()
+	if st.Processed != 2 {
+		t.Fatalf("processed = %d, want 2 (classification must outlive checkpoint failures)", st.Processed)
+	}
+	if st.Checkpoints != 0 || st.CheckpointErrors != 2 || st.LastCheckpointError == "" {
+		t.Fatalf("stats = %+v, want 0 checkpoints, 2 errors, and a last-error message", st)
+	}
+	if err := rt.Checkpoint(); err == nil {
+		t.Fatal("forced Checkpoint succeeded against an unwritable path")
+	}
+}
+
+// TestRuntimeCheckpointRefusesPendingQueue: the quiescence check and the
+// cursor snapshot come from one atomic queue read, so a checkpoint can
+// never record an Ingested cursor past a queued-but-unprocessed flow.
+func TestRuntimeCheckpointRefusesPendingQueue(t *testing.T) {
+	rt, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		CheckpointPath: filepath.Join(t.TempDir(), "run.ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Ingest(checkpointFlows()[0])
+	if err := rt.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded with a flow still queued")
+	}
+	rt.Step()
+	if err := rt.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after draining: %v", err)
+	}
+	if st := rt.Stats(); st.CheckpointErrors != 0 {
+		t.Fatalf("a not-quiescent refusal was counted as a write error: %+v", st)
+	}
+}
