@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz
+.PHONY: build test vet race verify fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,20 @@ race:
 
 # verify is the CI entry point: static checks plus the race-checked suite.
 verify: vet race
+
+# bench measures live-runtime consumption throughput (sequential Step loop
+# vs the batch-parallel consumer at 1/2/4/8 workers) and records the
+# machine-readable baseline in BENCH_runtime.json. The document carries the
+# recording host's CPU count, so single-core baselines are self-describing.
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_runtime.json
+	cat BENCH_runtime.json
+
+# bench-smoke compiles and runs the throughput benchmark once — the CI guard
+# that keeps the benchmark suite executable without paying measurement time.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x .
 
 # fuzz gives the stream-framing paths a short adversarial workout beyond the
 # seeded corpus that runs in `make test`.

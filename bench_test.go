@@ -2,6 +2,7 @@ package spoofscope
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -158,6 +159,56 @@ func BenchmarkClassifyParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env.Pipeline.ClassifyParallel(env.Flows, 0, newAgg)
+	}
+}
+
+// BenchmarkRuntimeThroughput measures the live runtime's consumption rate
+// over the full default-scale trace (≈440K flows): the sequential Step loop
+// against the batch-parallel consumer at several worker counts. The queue is
+// pre-filled outside the timer so only the drain is measured, and flows/sec
+// is the headline metric tracked in BENCH_runtime.json (`make bench`). On a
+// multi-core host the parallel variants scale with workers; under
+// GOMAXPROCS=1 they measure the batching overheads alone.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	env := benchEnvironment(b)
+	flows := env.Flows
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rt, err := core.NewRuntime(core.RuntimeConfig{
+				Pipeline: env.Pipeline,
+				Start:    env.Scenario.Cfg.Start, Bucket: env.Scenario.Cfg.Duration / 168,
+				// Hold the whole trace: benchmark the drain, not shedding.
+				Queue: core.QueueConfig{Capacity: len(flows) + 1, HighWatermark: len(flows) + 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, f := range flows {
+				rt.Ingest(f)
+			}
+			rt.Close()
+			b.StartTimer()
+			if workers == 0 {
+				for {
+					if _, _, ok := rt.Step(); !ok {
+						break
+					}
+				}
+			} else if err := rt.RunParallel(nil, workers, nil); err != nil {
+				b.Fatal(err)
+			}
+			if got := rt.Stats().Processed; got != uint64(len(flows)) {
+				b.Fatalf("processed %d flows, want %d", got, len(flows))
+			}
+		}
+		b.ReportMetric(float64(len(flows))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 0) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) { run(b, workers) })
 	}
 }
 

@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so benchmark baselines can be
+// committed and diffed (`make bench` pipes the runtime-throughput benchmark
+// through it into BENCH_runtime.json).
+//
+//	go test -run='^$' -bench=BenchmarkRuntimeThroughput . | benchjson > BENCH_runtime.json
+//
+// Each benchmark line ("BenchmarkX/sub-N  iters  value unit  value unit...")
+// becomes one entry with its metric pairs keyed by unit; the goos/goarch/
+// pkg/cpu header lines and the recording host's CPU count are carried into
+// the document header, so a baseline measured on a single-core box cannot be
+// mistaken for one with real parallelism.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GeneratedAt time.Time         `json:"generatedAt"`
+	GoVersion   string            `json:"goVersion"`
+	NumCPU      int               `json:"numCPU"`
+	GoMaxProcs  int               `json:"goMaxProcs"`
+	Env         map[string]string `json:"env,omitempty"`
+	Benchmarks  []benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	doc := document{
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Env:         map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+			continue
+		}
+		// Header lines: "goos: linux", "cpu: ...", etc.
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+			doc.Env[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  v unit  v unit..." line.
+func parseBenchLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return benchmark{}, false
+	}
+	return b, true
+}

@@ -7,10 +7,17 @@
 //
 //	classify -data ixp-data/ [-json report.json] [-no-orgs]
 //	         [-checkpoint run.ckpt [-checkpoint-every N]]
+//	         [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -checkpoint, the aggregate state is snapshotted atomically every N
 // flows; re-running after a crash resumes from the snapshot and produces
 // the same final tallies as an uninterrupted run.
+//
+// With -workers N (N >= 1) the flows feed the live runtime's batch-parallel
+// consumer instead of the single-threaded loop: a reader goroutine pushes
+// flows with backpressure (never shedding) while N workers classify queue
+// batches into private aggregates that merge at barriers. The final tallies
+// — and any checkpoint written — are identical to the sequential pass.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -45,12 +54,28 @@ func main() {
 		aggTO    = flag.Duration("aggregate", 0, "merge sampled packets into flow records with this idle timeout before classification (0 = off)")
 		ckptPath = flag.String("checkpoint", "", "crash-safe checkpoint file: resume from it if present, snapshot to it periodically")
 		ckptN    = flag.Uint64("checkpoint-every", 100000, "flows between checkpoint snapshots (with -checkpoint)")
+		workersN = flag.Int("workers", 0, "parallel classification workers (0 = single-threaded pass)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *ckptPath != "" && *aggTO > 0 {
 		// The flow cache re-times and merges records, so a flow index no
 		// longer positions a replay; refuse the ambiguous combination.
 		log.Fatal("-checkpoint cannot be combined with -aggregate")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	// Routing data.
@@ -120,61 +145,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer flows.Close()
-	agg := core.NewAggregator(time.Unix(0, 0).UTC(), 1<<62) // single bucket
 	fr := ipfix.NewFileReader(flows)
-	n := 0
-	skip := uint64(0)
-	if *ckptPath != "" {
-		if cp, err := core.ReadCheckpointFile(*ckptPath); err == nil {
-			agg = cp.Agg
-			skip = cp.Processed
-			n = int(cp.Processed)
-			log.Printf("resuming from %s: %d flows already processed", *ckptPath, cp.Processed)
-		} else if !os.IsNotExist(err) {
-			log.Fatal(err)
-		}
-	}
-	snapshot := func() {
-		cp := &core.Checkpoint{
-			Ingested: uint64(n), Queued: uint64(n), Processed: uint64(n),
-			Epoch: 1, Swaps: 1, Agg: agg,
-		}
-		if err := core.WriteCheckpointFile(*ckptPath, cp); err != nil {
-			log.Fatal(err)
-		}
-	}
-	seen := uint64(0)
-	sink := func(f ipfix.Flow) {
-		if seen++; seen <= skip {
-			return // already accounted by the resumed checkpoint
-		}
-		agg.Add(f, pipeline.Classify(f))
-		n++
-		if *ckptPath != "" && *ckptN > 0 && uint64(n)%*ckptN == 0 {
-			snapshot()
-		}
-	}
-	if *aggTO > 0 {
-		// Run the metering process first: merge sampled packets of the
-		// same flow (idle-timeout based) before classification.
-		cache := ipfix.NewFlowCache(*aggTO, 0, sink)
-		if err := fr.ForEach(func(f ipfix.Flow) bool {
-			cache.Add(f)
-			return true
-		}); err != nil {
-			log.Fatal(err)
-		}
-		cache.Flush()
-		log.Printf("flow cache: %d merges, %d overflow evictions", cache.Merged, cache.Overflowed)
-	} else if err := fr.ForEach(func(f ipfix.Flow) bool {
-		sink(f)
-		return true
-	}); err != nil {
-		log.Fatal(err)
-	}
-	if *ckptPath != "" {
-		snapshot()
-		log.Printf("checkpoint: %s", *ckptPath)
+	var agg *core.Aggregator
+	var n int
+	if *workersN > 0 {
+		agg, n = classifyParallel(fr, pipeline, *workersN, *aggTO, *ckptPath, *ckptN)
+	} else {
+		agg, n = classifySequential(fr, pipeline, *aggTO, *ckptPath, *ckptN)
 	}
 	for _, m := range members {
 		agg.SetMemberASN(m.Port, m.ASN)
@@ -189,6 +166,142 @@ func main() {
 		}
 		log.Printf("wrote %s", *jsonOut)
 	}
+
+	if *memProf != "" {
+		runtime.GC()
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// classifySequential is the single-threaded pass: read, classify, aggregate
+// in one loop, snapshotting the aggregate manually every ckptN flows.
+func classifySequential(fr *ipfix.FileReader, pipeline *core.Pipeline, aggTO time.Duration, ckptPath string, ckptN uint64) (*core.Aggregator, int) {
+	agg := core.NewAggregator(time.Unix(0, 0).UTC(), 1<<62) // single bucket
+	n := 0
+	skip := uint64(0)
+	if ckptPath != "" {
+		if cp, err := core.ReadCheckpointFile(ckptPath); err == nil {
+			agg = cp.Agg
+			skip = cp.Processed
+			n = int(cp.Processed)
+			log.Printf("resuming from %s: %d flows already processed", ckptPath, cp.Processed)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	snapshot := func() {
+		cp := &core.Checkpoint{
+			Ingested: uint64(n), Queued: uint64(n), Processed: uint64(n),
+			Epoch: 1, Swaps: 1, Agg: agg,
+		}
+		if err := core.WriteCheckpointFile(ckptPath, cp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	seen := uint64(0)
+	sink := func(f ipfix.Flow) {
+		if seen++; seen <= skip {
+			return // already accounted by the resumed checkpoint
+		}
+		agg.Add(f, pipeline.Classify(f))
+		n++
+		if ckptPath != "" && ckptN > 0 && uint64(n)%ckptN == 0 {
+			snapshot()
+		}
+	}
+	if err := feedFlows(fr, aggTO, sink); err != nil {
+		log.Fatal(err)
+	}
+	if ckptPath != "" {
+		snapshot()
+		log.Printf("checkpoint: %s", ckptPath)
+	}
+	return agg, n
+}
+
+// classifyParallel drives the live runtime's batch-parallel consumer over
+// the flow file: a reader goroutine feeds flows with backpressure (IngestWait
+// never sheds, so every flow is classified) while `workers` consumers drain
+// batches. Checkpoints are the runtime's quiescent snapshots — the same
+// format, resumable by either path — and the final aggregate is identical to
+// the sequential pass over the same flows.
+func classifyParallel(fr *ipfix.FileReader, pipeline *core.Pipeline, workers int, aggTO time.Duration, ckptPath string, ckptN uint64) (*core.Aggregator, int) {
+	rtc := core.RuntimeConfig{
+		Pipeline: pipeline,
+		Start:    time.Unix(0, 0).UTC(), Bucket: 1 << 62, // single bucket
+		Queue:           core.QueueConfig{Capacity: 8192},
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: ckptN,
+	}
+	skip := uint64(0)
+	if ckptPath != "" {
+		if cp, err := core.ReadCheckpointFile(ckptPath); err == nil {
+			rtc.Resume = cp
+			skip = cp.Ingested
+			log.Printf("resuming from %s: %d flows already processed", ckptPath, cp.Processed)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	rt, err := core.NewRuntime(rtc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feedErr := make(chan error, 1)
+	go func() {
+		defer rt.Close() // drained workers exit once the queue empties
+		seen := uint64(0)
+		sink := func(f ipfix.Flow) {
+			if seen++; seen <= skip {
+				return // already accounted by the resumed checkpoint
+			}
+			rt.IngestWait(f)
+		}
+		feedErr <- feedFlows(fr, aggTO, sink)
+	}()
+	if err := rt.RunParallel(nil, workers, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-feedErr; err != nil {
+		log.Fatal(err)
+	}
+	if ckptPath != "" {
+		if err := rt.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("checkpoint: %s", ckptPath)
+	}
+	return rt.Aggregator(), int(rt.Stats().Processed)
+}
+
+// feedFlows streams the flow file into sink, optionally running the
+// idle-timeout metering process (flow cache) first.
+func feedFlows(fr *ipfix.FileReader, aggTO time.Duration, sink func(ipfix.Flow)) error {
+	if aggTO > 0 {
+		// Run the metering process first: merge sampled packets of the
+		// same flow (idle-timeout based) before classification.
+		cache := ipfix.NewFlowCache(aggTO, 0, sink)
+		if err := fr.ForEach(func(f ipfix.Flow) bool {
+			cache.Add(f)
+			return true
+		}); err != nil {
+			return err
+		}
+		cache.Flush()
+		log.Printf("flow cache: %d merges, %d overflow evictions", cache.Merged, cache.Overflowed)
+		return nil
+	}
+	return fr.ForEach(func(f ipfix.Flow) bool {
+		sink(f)
+		return true
+	})
 }
 
 func readMembers(path string) ([]core.MemberInfo, error) {

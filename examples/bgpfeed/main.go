@@ -88,28 +88,39 @@ func run() error {
 	byEpoch := map[spoofscope.Epoch]int{}
 	counts := map[spoofscope.Class]int{}
 	stale := 0
-	drain := func(batch []spoofscope.Flow) {
-		// Ingest and consume in lockstep so the bounded queue never fills
-		// (a collector goroutine would normally do the pushing).
-		for _, f := range batch {
-			if !rt.Ingest(f) {
-				continue
-			}
-			_, v, ok := rt.Step()
-			if !ok {
-				return
-			}
+
+	// Consumer: two batch-parallel workers drain the queue as it fills.
+	// The observer callback is serialized by RunParallel, so the plain
+	// maps are safe; flows queue until the first complete replay promotes
+	// epoch 1, then classification starts without a pause.
+	consumerDone := make(chan error, 1)
+	go func() {
+		consumerDone <- rt.RunParallel(nil, 2, func(f spoofscope.Flow, v spoofscope.LiveVerdict) bool {
 			byEpoch[v.Epoch]++
 			counts[v.Class]++
 			if v.Stale {
 				stale++
 			}
+			return true
+		})
+	}()
+
+	// Producer: feed with backpressure — IngestWait blocks on a full queue
+	// instead of shedding, so every flow of the replayable source is
+	// classified (a live collector would use Ingest and accept shedding).
+	feed := func(batch []spoofscope.Flow) {
+		for _, f := range batch {
+			rt.IngestWait(f)
 		}
 	}
 
 	// First half classifies under epoch 1 — the epoch built from the
-	// replay that survived the mid-feed reset.
-	drain(flows[:half])
+	// replay that survived the mid-feed reset. Wait for the consumer to
+	// drain it before reading the epoch.
+	feed(flows[:half])
+	for rt.Stats().Processed < uint64(half) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	log.Printf("epoch %d live after surviving the faulted replay", rt.Stats().Epoch)
 
 	// Wait for the second replay to promote epoch 2, then classify the
@@ -117,8 +128,12 @@ func run() error {
 	for rt.Stats().Epoch < 2 {
 		time.Sleep(5 * time.Millisecond)
 	}
-	drain(flows[half:])
+	feed(flows[half:])
 
+	rt.Close() // stop intake; the workers drain what is queued and exit
+	if err := <-consumerDone; err != nil {
+		return err
+	}
 	if err := <-feedDone; err != nil {
 		return err
 	}

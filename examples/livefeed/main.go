@@ -69,14 +69,15 @@ func run() error {
 		flows = flows[:5000]
 	}
 
-	// Consumer: drain the runtime until intake closes, alerting on the
-	// first few spoofed flows.
+	// Consumer: drain the runtime with four batch-parallel workers until
+	// intake closes, alerting on the first few spoofed flows. The observer
+	// callback is serialized by RunParallel, so the plain map is safe.
 	counts := map[spoofscope.Class]int{}
 	alerts := 0
 	consumerDone := make(chan struct{})
 	go func() {
 		defer close(consumerDone)
-		rt.Run(nil, func(f spoofscope.Flow, v spoofscope.LiveVerdict) bool {
+		rt.RunParallel(nil, 4, func(f spoofscope.Flow, v spoofscope.LiveVerdict) bool {
 			counts[v.Class]++
 			if v.Class != spoofscope.ClassValid && alerts < 8 {
 				alerts++

@@ -123,6 +123,13 @@ type Aggregator struct {
 	// TriggerSeries / ResponseSeries are Figure 11c's per-bucket series.
 	TriggerSeries  []Counter
 	ResponseSeries []Counter
+
+	// lastPort/lastMember memoize the most recent members lookup: flows
+	// arrive clustered by ingress port, so Add usually skips the map hit.
+	// Coherent across Merge because an existing port's *MemberStats is
+	// only ever mutated in place, never replaced.
+	lastPort   uint32
+	lastMember *MemberStats
 }
 
 // NewAggregator creates an aggregator bucketing time from start.
@@ -192,10 +199,14 @@ func (a *Aggregator) Add(f ipfix.Flow, v Verdict) {
 		a.UnknownPorts++
 	}
 
-	ms := a.members[f.Ingress]
-	if ms == nil {
-		ms = &MemberStats{Port: f.Ingress, InvalidOrigins: make(map[bgp.ASN]uint64)}
-		a.members[f.Ingress] = ms
+	ms := a.lastMember
+	if ms == nil || a.lastPort != f.Ingress {
+		ms = a.members[f.Ingress]
+		if ms == nil {
+			ms = &MemberStats{Port: f.Ingress, InvalidOrigins: make(map[bgp.ASN]uint64)}
+			a.members[f.Ingress] = ms
+		}
+		a.lastPort, a.lastMember = f.Ingress, ms
 	}
 	ms.Total.add(&f)
 

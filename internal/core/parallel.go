@@ -138,6 +138,9 @@ func (p *Pipeline) ClassifyParallel(flows []ipfix.Flow, workers int, newAgg func
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(flows) {
+		workers = len(flows)
+	}
+	if workers < 1 {
 		workers = 1
 	}
 	aggs := make([]*Aggregator, workers)

@@ -141,19 +141,36 @@ type memberState struct {
 	extra *netx.Trie
 }
 
+// originRef is one distinct origin AS of the routed table, resolved at
+// compile time: the ASN for verdict attribution plus its dense graph index
+// for the cone membership tests (-1 when the origin is absent from the
+// graph). The origin LPM stores indices into this table, so Classify's
+// inner loop pays an array read instead of a per-covering-prefix map hit.
+type originRef struct {
+	asn bgp.ASN
+	idx int32
+}
+
+// densePortCap bounds the size of the dense port→member table; member
+// ports above it (unusual — IXP port IDs are small) fall back to the map.
+const densePortCap = 1 << 16
+
 // Pipeline is the compiled classifier. Classification is read-only and
 // safe for concurrent use; AllowSource mutates and must not race Classify.
 type Pipeline struct {
 	bogons  *bogon.Set
-	origins *netx.LPM // routed prefix -> origin ASN (MOAS-resolved)
+	origins *netx.LPM // routed prefix -> index into originTab (MOAS-resolved)
 	graph   *astopo.Graph
 	full    *astopo.Closure
 	cc      *astopo.Closure
 	naive   *astopo.NaiveIndex
 	routers RouterSet
 
-	byPort map[uint32]*memberState
-	byASN  map[bgp.ASN]*memberState
+	originTab []originRef
+
+	byPort      map[uint32]*memberState
+	byPortDense []*memberState // ports < densePortCap, compiled with the members
+	byASN       map[bgp.ASN]*memberState
 
 	// RoutedSlash24 is the routed space size, for reporting.
 	routedSpace netx.IntervalSet
@@ -198,7 +215,6 @@ func NewPipeline(rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, e
 	p := &Pipeline{
 		bogons:      bogons,
 		anns:        anns,
-		origins:     rib.OriginTable(),
 		graph:       graph,
 		full:        full,
 		cc:          cc,
@@ -207,6 +223,34 @@ func NewPipeline(rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, e
 		byPort:      make(map[uint32]*memberState, len(members)),
 		byASN:       make(map[bgp.ASN]*memberState, len(members)),
 		routedSpace: rib.RoutedSpace(),
+	}
+
+	// Re-key the origin table: the RIB maps prefixes to origin ASNs, but
+	// Classify needs the origin's dense graph index per covering prefix.
+	// Resolving ASN→index here, once per distinct origin, removes the
+	// graph.Index map lookup from the classification inner loop.
+	slotOf := make(map[uint32]uint32)
+	p.origins = rib.OriginTable().Transform(func(asn uint32) uint32 {
+		if s, ok := slotOf[asn]; ok {
+			return s
+		}
+		s := uint32(len(p.originTab))
+		slotOf[asn] = s
+		p.originTab = append(p.originTab, originRef{
+			asn: bgp.ASN(asn),
+			idx: int32(graph.Index(bgp.ASN(asn))),
+		})
+		return s
+	})
+
+	maxPort := uint32(0)
+	for _, mi := range members {
+		if mi.Port > maxPort {
+			maxPort = mi.Port
+		}
+	}
+	if maxPort < densePortCap {
+		p.byPortDense = make([]*memberState, maxPort+1)
 	}
 	for _, mi := range members {
 		ms := &memberState{info: mi, asIdx: graph.Index(mi.ASN)}
@@ -220,9 +264,23 @@ func NewPipeline(rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, e
 			}
 		}
 		p.byPort[mi.Port] = ms
+		if int(mi.Port) < len(p.byPortDense) {
+			p.byPortDense[mi.Port] = ms
+		}
 		p.byASN[mi.ASN] = ms
 	}
 	return p, nil
+}
+
+// member resolves an ingress port to its compiled member state, through
+// the dense table when the port is in range.
+func (p *Pipeline) member(port uint32) (*memberState, bool) {
+	if int64(port) < int64(len(p.byPortDense)) {
+		ms := p.byPortDense[port]
+		return ms, ms != nil
+	}
+	ms, ok := p.byPort[port]
+	return ms, ok
 }
 
 // Graph exposes the AS graph (read-only) for analyses.
@@ -264,37 +322,38 @@ func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
 
 	if p.bogons.Contains(src) {
 		v.Class = ClassBogon
-		_, v.KnownMember = p.byPort[f.Ingress]
+		_, v.KnownMember = p.member(f.Ingress)
 		return v
 	}
 
 	// Collect covering routed prefixes (shortest to longest); the most
-	// specific origin is the attributed source AS. 17 slots suffice for
-	// every possible /8../24 nesting chain; deeper chains (custom RIB
-	// length bounds) keep overwriting the last slot so the most specific
-	// origin is never lost.
+	// specific origin is the attributed source AS. The LPM values are
+	// compile-time slots into originTab (ASN + dense graph index already
+	// resolved). 17 slots suffice for every possible /8../24 nesting
+	// chain; deeper chains (custom RIB length bounds) keep overwriting the
+	// last slot so the most specific origin is never lost.
 	var origins [17]uint32
 	nOrigins := 0
-	p.origins.Matches(src, func(bits uint8, origin uint32) bool {
+	p.origins.Matches(src, func(bits uint8, slot uint32) bool {
 		if nOrigins < len(origins) {
-			origins[nOrigins] = origin
+			origins[nOrigins] = slot
 			nOrigins++
 		} else {
-			origins[len(origins)-1] = origin
+			origins[len(origins)-1] = slot
 		}
 		return true
 	})
 	if nOrigins == 0 {
 		v.Class = ClassUnrouted
-		_, v.KnownMember = p.byPort[f.Ingress]
+		_, v.KnownMember = p.member(f.Ingress)
 		return v
 	}
-	v.SrcOrigin = bgp.ASN(origins[nOrigins-1])
+	v.SrcOrigin = p.originTab[origins[nOrigins-1]].asn
 	if p.routers != nil && p.routers.Contains(src) {
 		v.RouterIP = true
 	}
 
-	ms, ok := p.byPort[f.Ingress]
+	ms, ok := p.member(f.Ingress)
 	if !ok {
 		v.Class = ClassValid
 		return v
@@ -320,7 +379,7 @@ func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
 	naiveValid := ms.naive.Contains(src)
 	ccValid, fcValid := false, false
 	for i := 0; i < nOrigins; i++ {
-		oi := p.graph.Index(bgp.ASN(origins[i]))
+		oi := int(p.originTab[origins[i]].idx)
 		if oi < 0 {
 			continue
 		}

@@ -91,6 +91,7 @@ type IngestQueue struct {
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond
+	notFull  *sync.Cond
 	ring     []ipfix.Flow
 	head     int
 	depth    int
@@ -106,6 +107,7 @@ func NewIngestQueue(cfg QueueConfig) *IngestQueue {
 		ring: make([]ipfix.Flow, cfg.capacity()),
 	}
 	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
 
@@ -153,6 +155,35 @@ func (q *IngestQueue) Push(f ipfix.Flow) bool {
 	return true
 }
 
+// PushWait queues f, blocking while the queue is full instead of shedding.
+// It is the backpressure variant for replayable sources (file readers, the
+// batch benchmark feeder) where dropping would lose data the source could
+// simply have held back; the watermark shed policy never applies. False
+// reports the queue was closed before the flow could be queued. The
+// Ingested/Queued cursor accounting is identical to Push.
+func (q *IngestQueue) PushWait(f ipfix.Flow) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth >= len(q.ring) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.stats.Ingested++
+	q.ring[(q.head+q.depth)%len(q.ring)] = f
+	q.depth++
+	q.stats.Queued++
+	if q.depth > q.stats.HighWatermarkObserved {
+		q.stats.HighWatermarkObserved = q.depth
+	}
+	if q.depth >= q.cfg.highWatermark() {
+		q.shedding = true
+	}
+	q.notEmpty.Signal()
+	return true
+}
+
 // Pop removes the oldest flow, blocking until one arrives. After Close it
 // keeps returning the remaining flows, then reports false once drained.
 func (q *IngestQueue) Pop() (ipfix.Flow, bool) {
@@ -171,7 +202,56 @@ func (q *IngestQueue) Pop() (ipfix.Flow, bool) {
 	if q.shedding && q.depth <= q.cfg.lowWatermark() {
 		q.shedding = false
 	}
+	q.notFull.Signal()
 	return f, true
+}
+
+// popBatchLocked drains up to len(dst) flows under q.mu (zero when empty).
+func (q *IngestQueue) popBatchLocked(dst []ipfix.Flow) int {
+	n := len(dst)
+	if n > q.depth {
+		n = q.depth
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = q.ring[q.head]
+		q.ring[q.head] = ipfix.Flow{}
+		q.head = (q.head + 1) % len(q.ring)
+	}
+	q.depth -= n
+	if q.shedding && q.depth <= q.cfg.lowWatermark() {
+		q.shedding = false
+	}
+	if n > 0 {
+		q.notFull.Broadcast()
+	}
+	return n
+}
+
+// PopBatch drains up to len(dst) queued flows under one lock acquisition,
+// blocking until at least one flow is available. It returns 0 only once the
+// queue is closed and drained — the batch analogue of Pop's false. The shed
+// and cursor accounting is untouched: batch consumers observe exactly the
+// flows Push accepted, in arrival order within the batch.
+func (q *IngestQueue) PopBatch(dst []ipfix.Flow) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	return q.popBatchLocked(dst)
+}
+
+// TryPopBatch drains up to len(dst) flows without blocking; it returns 0
+// when the queue is empty right now (closed or not). Batch consumers use it
+// to detect the idle edge — the moment to surface buffered state — before
+// parking in PopBatch.
+func (q *IngestQueue) TryPopBatch(dst []ipfix.Flow) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popBatchLocked(dst)
 }
 
 // Depth returns the current occupancy.
@@ -188,6 +268,7 @@ func (q *IngestQueue) Close() {
 	q.closed = true
 	q.mu.Unlock()
 	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
 }
 
 // Stats returns a snapshot of the accounting counters.

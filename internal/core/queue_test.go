@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"spoofscope/internal/ipfix"
 )
@@ -198,5 +199,95 @@ func TestQueueRestoreContinuesKeySequence(t *testing.T) {
 	}
 	if f, r := fresh.Stats(), resumed.Stats(); f.Ingested != r.Ingested || f.Shed != r.Shed || f.Queued != r.Queued {
 		t.Fatalf("counter divergence: fresh %+v resumed %+v", f, r)
+	}
+}
+
+func TestQueuePopBatchFIFO(t *testing.T) {
+	q := NewIngestQueue(QueueConfig{Capacity: 16})
+	for i := 0; i < 10; i++ {
+		q.Push(queueFlow(i))
+	}
+	q.Close()
+	buf := make([]ipfix.Flow, 4)
+	next := 0
+	for {
+		n := q.PopBatch(buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if buf[i].SrcPort != uint16(next) {
+				t.Fatalf("batch element %d = flow %d, want FIFO order %d", i, buf[i].SrcPort, next)
+			}
+			next++
+		}
+	}
+	if next != 10 {
+		t.Fatalf("drained %d flows, want 10", next)
+	}
+	if q.PopBatch(buf) != 0 {
+		t.Fatal("PopBatch reported flows after drain")
+	}
+}
+
+func TestQueueTryPopBatchNonBlocking(t *testing.T) {
+	q := NewIngestQueue(QueueConfig{Capacity: 8})
+	buf := make([]ipfix.Flow, 4)
+	if n := q.TryPopBatch(buf); n != 0 {
+		t.Fatalf("TryPopBatch on an empty open queue = %d, want 0", n)
+	}
+	q.Push(queueFlow(1))
+	q.Push(queueFlow(2))
+	if n := q.TryPopBatch(buf); n != 2 {
+		t.Fatalf("TryPopBatch = %d, want 2", n)
+	}
+	if buf[0].SrcPort != 1 || buf[1].SrcPort != 2 {
+		t.Fatal("TryPopBatch broke FIFO order")
+	}
+}
+
+// TestQueuePushWaitBackpressure: PushWait never sheds — a full queue blocks
+// the producer until the consumer drains, and every offered flow is either
+// queued or refused by Close.
+func TestQueuePushWaitBackpressure(t *testing.T) {
+	q := NewIngestQueue(QueueConfig{Capacity: 2, HighWatermark: 2, LowWatermark: 1})
+	if !q.PushWait(queueFlow(0)) || !q.PushWait(queueFlow(1)) {
+		t.Fatal("PushWait refused below capacity")
+	}
+	blocked := make(chan bool, 1)
+	go func() { blocked <- q.PushWait(queueFlow(2)) }()
+	select {
+	case <-blocked:
+		t.Fatal("PushWait returned with the queue full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("Pop failed")
+	}
+	select {
+	case ok := <-blocked:
+		if !ok {
+			t.Fatal("PushWait reported closed after space opened")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PushWait still blocked after a Pop made room")
+	}
+	st := q.Stats()
+	if st.Ingested != 3 || st.Queued != 3 || st.Shed != 0 {
+		t.Fatalf("stats = %+v, want 3 ingested, 3 queued, 0 shed", st)
+	}
+
+	// Close unblocks a waiting producer with false.
+	waiting := make(chan bool, 1)
+	go func() { waiting <- q.PushWait(queueFlow(3)) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-waiting:
+		if ok {
+			t.Fatal("PushWait reported queued after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PushWait still blocked after Close")
 	}
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spoofscope/internal/ipfix"
+)
+
+// consumeBatchSize is how many flows a parallel worker drains per queue
+// lock acquisition. Large enough to amortize the lock to noise, small
+// enough that a batch finishes in well under a millisecond — the window in
+// which an in-flight batch can defer a quiescent checkpoint.
+const consumeBatchSize = 256
+
+// RunParallel consumes flows with `workers` concurrent consumers (default:
+// GOMAXPROCS) until the context is cancelled or the runtime is closed and
+// drained. Each worker drains the ingest queue in batches (one lock
+// acquisition per batch), classifies every flow of a batch against one
+// epoch snapshot, and accumulates verdicts into a private aggregator — the
+// hot path takes no shared lock. Private state merges into the canonical
+// aggregate only at barriers: an epoch swap, the idle edge (queue found
+// empty), and exit. Because Aggregator.Merge is order-independent, a
+// drained parallel run's aggregate — and its canonical checkpoint encoding
+// — is byte-identical to the sequential Step loop's over the same flows.
+//
+// Periodic checkpoints still require quiescence; in parallel mode they are
+// taken at the first idle edge at which they are due, once every worker
+// has merged (the checkpoint path refuses to run while any worker holds an
+// unmerged batch, so the cursor can never outrun the aggregate).
+//
+// fn (optional) observes every flow and verdict; calls are serialized, but
+// arrive in worker-completion order, not arrival order. Returning false
+// stops consumption: intake is closed and workers exit after finishing
+// their in-flight batches. Do not run RunParallel concurrently with Step,
+// Run, or another RunParallel.
+func (rt *Runtime) RunParallel(ctx context.Context, workers int, fn func(ipfix.Flow, LiveVerdict) bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, rt.Close)
+		defer stop()
+	}
+	var (
+		stopped atomic.Bool
+		observe func(ipfix.Flow, LiveVerdict)
+	)
+	if fn != nil {
+		var fnMu sync.Mutex
+		observe = func(f ipfix.Flow, lv LiveVerdict) {
+			fnMu.Lock()
+			defer fnMu.Unlock()
+			if stopped.Load() {
+				return
+			}
+			if !fn(f, lv) {
+				stopped.Store(true)
+				rt.Close()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.consumeShard(observe, &stopped)
+		}()
+	}
+	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// consumeShard is one parallel worker: batch pop, classify against the
+// batch's epoch snapshot into a private aggregator, merge at barriers.
+func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *atomic.Bool) {
+	// start/bucket are immutable after the aggregator is built, so shard
+	// aggregators can be created without rt.mu.
+	start, bucket := rt.agg.start, rt.agg.bucket
+	buf := make([]ipfix.Flow, consumeBatchSize)
+	var (
+		priv       *Aggregator
+		privCount  uint64
+		batchEpoch Epoch
+	)
+	// flush merges the private shard into the canonical aggregate. Merge
+	// consumes the shard, so a fresh one is started afterwards.
+	flush := func() {
+		if privCount == 0 {
+			return
+		}
+		rt.mu.Lock()
+		rt.agg.Merge(priv)
+		rt.merged += privCount
+		rt.mu.Unlock()
+		priv, privCount = nil, 0
+	}
+	// tryCheckpoint attempts a due periodic snapshot. The fast atomic check
+	// keeps the common case (not due) off rt.mu; checkpointLocked itself
+	// re-verifies due-ness and quiescence, and defers while other workers
+	// still hold unmerged batches.
+	tryCheckpoint := func() {
+		if rt.cfg.CheckpointEvery == 0 || rt.cfg.CheckpointPath == "" ||
+			rt.processed.Load()-rt.ckptMark.Load() < rt.cfg.CheckpointEvery {
+			return
+		}
+		rt.mu.Lock()
+		if rt.checkpointDueLocked() {
+			rt.checkpointLocked()
+		}
+		rt.mu.Unlock()
+	}
+	for !stopped.Load() {
+		n := rt.queue.TryPopBatch(buf)
+		if n == 0 {
+			// Idle edge: surface everything buffered so the canonical
+			// aggregate is current and a due checkpoint can find the run
+			// quiescent, then park until more flows arrive.
+			flush()
+			tryCheckpoint()
+			n = rt.queue.PopBatch(buf)
+			if n == 0 {
+				break // closed and drained
+			}
+		}
+		<-rt.firstEpoch
+		st := rt.state.Load()
+		if priv != nil && st.epoch != batchEpoch {
+			flush() // epoch barrier: pre-swap verdicts merge before new ones accumulate
+		}
+		if priv == nil {
+			priv = NewAggregator(start, bucket)
+		}
+		batchEpoch = st.epoch
+		var staleN uint64
+		for i := 0; i < n; i++ {
+			f := buf[i]
+			lv := LiveVerdict{
+				Verdict: st.pipeline.Classify(f),
+				Epoch:   st.epoch,
+				Stale:   rt.degraded.Load(),
+			}
+			if lv.Stale {
+				staleN++
+			}
+			priv.Add(f, lv.Verdict)
+			privCount++
+			if observe != nil {
+				observe(f, lv)
+			}
+		}
+		if staleN > 0 {
+			rt.stale.Add(staleN)
+		}
+		rt.processed.Add(uint64(n))
+	}
+	flush()
+	tryCheckpoint()
+}

@@ -71,10 +71,11 @@ type RuntimeStats struct {
 }
 
 // Runtime is the live classification engine. Ingest may be called from any
-// number of producer goroutines (IPFIX collectors); Step/Run is the single
-// consumer; Swap and MarkDegraded may be called from a routing-feed
-// goroutine at any time — promotion is an atomic pointer swap between
-// flows, never a pause.
+// number of producer goroutines (IPFIX collectors); Step/Run is the
+// sequential consumer and RunParallel the sharded one (use one or the
+// other, not both at once); Swap and MarkDegraded may be called from a
+// routing-feed goroutine at any time — promotion is an atomic pointer swap
+// between flows, never a pause.
 type Runtime struct {
 	cfg   RuntimeConfig
 	queue *IngestQueue
@@ -88,10 +89,16 @@ type Runtime struct {
 	lastEpoch  Epoch
 	promoted   bool // a pipeline has been promoted (firstEpoch closed); under swapMu
 
-	mu          sync.Mutex // guards agg, processed, sinceCkpt, checkpoints, ckptErrors, lastCkptErr
+	// processed counts flows classified (sequentially or by any parallel
+	// worker); ckptMark mirrors the merged count at the last successful
+	// checkpoint so workers can test checkpoint due-ness without rt.mu.
+	processed atomic.Uint64
+	ckptMark  atomic.Uint64
+
+	mu          sync.Mutex // guards agg, merged, lastCkpt, checkpoints, ckptErrors, lastCkptErr
 	agg         *Aggregator
-	processed   uint64
-	sinceCkpt   uint64
+	merged      uint64 // flows represented in agg (== processed once workers flush)
+	lastCkpt    uint64 // merged count at the last successful checkpoint
 	checkpoints uint64
 	ckptErrors  uint64
 	lastCkptErr error
@@ -120,7 +127,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			return nil, fmt.Errorf("core: resume checkpoint has no aggregate")
 		}
 		rt.agg = cp.Agg
-		rt.processed = cp.Processed
+		rt.processed.Store(cp.Processed)
+		rt.merged = cp.Processed
+		rt.lastCkpt = cp.Processed
+		rt.ckptMark.Store(cp.Processed)
 		rt.stale.Store(cp.StaleVerdicts)
 		rt.swaps.Store(cp.Swaps)
 		rt.lastEpoch = cp.Epoch
@@ -157,6 +167,13 @@ func (rt *Runtime) Ingest(f ipfix.Flow) bool { return rt.queue.Push(f) }
 func (rt *Runtime) IngestFunc() func(ipfix.Flow) {
 	return func(f ipfix.Flow) { rt.Ingest(f) }
 }
+
+// IngestWait offers one flow with backpressure: a full queue blocks the
+// caller instead of shedding. This is the feed path for replayable sources
+// (file readers) where every flow must be classified; live collectors keep
+// using Ingest, whose never-block contract is what bounds their latency.
+// False reports the runtime was closed before the flow could be queued.
+func (rt *Runtime) IngestWait(f ipfix.Flow) bool { return rt.queue.PushWait(f) }
 
 // Swap promotes a freshly-built pipeline as the next epoch and clears the
 // degraded marker. The swap is atomic: flows classified before it use the
@@ -205,17 +222,23 @@ func (rt *Runtime) Step() (ipfix.Flow, LiveVerdict, bool) {
 	}
 	rt.mu.Lock()
 	rt.agg.Add(f, lv.Verdict)
-	rt.processed++
-	rt.sinceCkpt++
-	if rt.cfg.CheckpointEvery > 0 && rt.cfg.CheckpointPath != "" &&
-		rt.sinceCkpt >= rt.cfg.CheckpointEvery {
-		// Not-quiescent just defers to the next Step (sinceCkpt keeps the
-		// snapshot due); write failures are accounted in CheckpointErrors /
-		// LastCheckpointError by checkpointLocked itself.
+	rt.merged++
+	rt.processed.Add(1)
+	if rt.checkpointDueLocked() {
+		// Not-quiescent just defers to the next Step (the due-ness test
+		// keeps the snapshot due); write failures are accounted in
+		// CheckpointErrors / LastCheckpointError by checkpointLocked itself.
 		rt.checkpointLocked()
 	}
 	rt.mu.Unlock()
 	return f, lv, true
+}
+
+// checkpointDueLocked reports whether periodic checkpointing is configured
+// and enough flows have merged since the last successful snapshot.
+func (rt *Runtime) checkpointDueLocked() bool {
+	return rt.cfg.CheckpointEvery > 0 && rt.cfg.CheckpointPath != "" &&
+		rt.merged-rt.lastCkpt >= rt.cfg.CheckpointEvery
 }
 
 // Run consumes flows until the context is cancelled or the runtime is
@@ -235,6 +258,12 @@ func (rt *Runtime) Run(ctx context.Context, fn func(ipfix.Flow, LiveVerdict) boo
 			return nil
 		}
 		if fn != nil && !fn(f, v) {
+			// A cancelled context wins even when fn stops the loop in the
+			// same iteration: the caller asked to abort, and returning nil
+			// here would mask that.
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			return nil
 		}
 	}
@@ -263,19 +292,26 @@ func (rt *Runtime) Checkpoint() error {
 // counter read come from one atomic queue snapshot: a producer Push between
 // a separate Depth()==0 check and a Stats() read could advance the Ingested
 // cursor past a flow that was queued but never processed, and a resume
-// would silently skip it. Write failures are accounted (CheckpointErrors,
-// LastCheckpointError) so a persistent one cannot silently disable
-// crash-safety.
+// would silently skip it. The merged==Queued test extends the same
+// guarantee to the sharded consumer: a parallel worker holding a popped
+// batch in its private aggregator leaves the queue at depth zero, but the
+// canonical aggregate does not yet account those flows — writing then would
+// let the cursor outrun the state. Write failures are accounted
+// (CheckpointErrors, LastCheckpointError) so a persistent one cannot
+// silently disable crash-safety.
 func (rt *Runtime) checkpointLocked() error {
 	qs := rt.queue.Stats()
 	if qs.Depth != 0 {
 		return fmt.Errorf("%w (%d flows pending)", errNotQuiescent, qs.Depth)
 	}
+	if rt.merged != qs.Queued {
+		return fmt.Errorf("%w (%d flows in worker batches)", errNotQuiescent, qs.Queued-rt.merged)
+	}
 	cp := &Checkpoint{
 		Ingested:      qs.Ingested,
 		Queued:        qs.Queued,
 		Shed:          qs.Shed,
-		Processed:     rt.processed,
+		Processed:     rt.merged,
 		Epoch:         rt.currentEpoch(),
 		Swaps:         rt.swaps.Load(),
 		StaleVerdicts: rt.stale.Load(),
@@ -287,7 +323,8 @@ func (rt *Runtime) checkpointLocked() error {
 		rt.lastCkptErr = err
 		return err
 	}
-	rt.sinceCkpt = 0
+	rt.lastCkpt = rt.merged
+	rt.ckptMark.Store(rt.merged)
 	rt.checkpoints++
 	rt.lastCkptErr = nil
 	return nil
@@ -308,10 +345,12 @@ func (rt *Runtime) Aggregator() *Aggregator {
 	return rt.agg
 }
 
-// Stats returns a snapshot of the runtime's health counters.
+// Stats returns a snapshot of the runtime's health counters. Processed is
+// updated per classified flow even while parallel workers hold unmerged
+// batches, so an operator always sees live progress.
 func (rt *Runtime) Stats() RuntimeStats {
 	rt.mu.Lock()
-	processed, checkpoints := rt.processed, rt.checkpoints
+	checkpoints := rt.checkpoints
 	ckptErrors, lastCkptErr := rt.ckptErrors, ""
 	if rt.lastCkptErr != nil {
 		lastCkptErr = rt.lastCkptErr.Error()
@@ -322,7 +361,7 @@ func (rt *Runtime) Stats() RuntimeStats {
 		Swaps:               rt.swaps.Load(),
 		Degraded:            rt.degraded.Load(),
 		StaleVerdicts:       rt.stale.Load(),
-		Processed:           processed,
+		Processed:           rt.processed.Load(),
 		Checkpoints:         checkpoints,
 		CheckpointErrors:    ckptErrors,
 		LastCheckpointError: lastCkptErr,

@@ -177,6 +177,22 @@ func (l *LPM) Contains(a Addr) bool {
 	return ok
 }
 
+// Transform returns a copy of the table with every stored value replaced
+// by fn(value); prefixes and structure are untouched. fn is called once
+// per stored prefix. This is the compile-time hook for re-keying a table —
+// e.g. swapping AS numbers for dense graph indices — so the per-lookup
+// consumer pays an array index instead of a map hit.
+func (l *LPM) Transform(fn func(uint32) uint32) *LPM {
+	nodes := make([]trieNode, len(l.nodes))
+	copy(nodes, l.nodes)
+	for i := range nodes {
+		if nodes[i].set {
+			nodes[i].value = fn(nodes[i].value)
+		}
+	}
+	return &LPM{nodes: nodes, size: l.size}
+}
+
 // Matches calls fn for every stored prefix covering a, shortest first,
 // with the prefix length and stored value. Returning false stops the walk.
 func (l *LPM) Matches(a Addr, fn func(bits uint8, value uint32) bool) {

@@ -103,6 +103,13 @@ func (lr *LiveRuntime) Ingest(f Flow) bool { return lr.rt.Ingest(f) }
 // IngestFunc adapts Ingest to the collector callback signature.
 func (lr *LiveRuntime) IngestFunc() func(Flow) { return lr.rt.IngestFunc() }
 
+// IngestWait offers one flow with backpressure: a full queue blocks the
+// caller instead of shedding. Use it for replayable sources (file readers)
+// where every flow must be classified; live collectors keep using Ingest,
+// whose never-block contract bounds their latency. False reports the
+// runtime was closed before the flow could be queued.
+func (lr *LiveRuntime) IngestWait(f Flow) bool { return lr.rt.IngestWait(f) }
+
 // Step consumes one flow: it blocks until a flow (and a promoted
 // classifier) is available and reports false once the runtime is closed
 // and drained.
@@ -112,6 +119,18 @@ func (lr *LiveRuntime) Step() (Flow, LiveVerdict, bool) { return lr.rt.Step() }
 // drained; fn (optional) observes every verdict and may stop the loop.
 func (lr *LiveRuntime) Run(ctx context.Context, fn func(Flow, LiveVerdict) bool) error {
 	return lr.rt.Run(ctx, fn)
+}
+
+// RunParallel consumes flows with `workers` concurrent consumers (default:
+// GOMAXPROCS). Workers classify queue batches against one epoch snapshot
+// into private aggregates, merging into the canonical aggregate only at
+// epoch swaps and idle edges — the hot path takes no shared lock, and a
+// drained run's aggregate (and checkpoint bytes) is identical to the
+// sequential Run's over the same flows. fn (optional) observes every
+// verdict; calls are serialized but arrive in completion order, not arrival
+// order. Do not run concurrently with Step, Run, or another RunParallel.
+func (lr *LiveRuntime) RunParallel(ctx context.Context, workers int, fn func(Flow, LiveVerdict) bool) error {
+	return lr.rt.RunParallel(ctx, workers, fn)
 }
 
 // SwapClassifier promotes a rebuilt classifier as the next epoch and clears
