@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fuzz bench bench-smoke
+.PHONY: build test vet race verify obs-smoke fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the CI entry point: static checks plus the race-checked suite.
-verify: vet race
+# verify is the CI entry point: static checks, the race-checked suite, and
+# the observability smoke.
+verify: vet race obs-smoke
+
+# obs-smoke drives a live parallel run with telemetry enabled and asserts the
+# /metrics scrape matches the Aggregator exactly and /healthz walks
+# unready -> ok (see obs_smoke_test.go).
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -count=1 .
 
 # bench measures live-runtime consumption throughput (sequential Step loop
 # vs the batch-parallel consumer at 1/2/4/8 workers) and records the

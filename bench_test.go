@@ -14,6 +14,7 @@ import (
 	"spoofscope/internal/experiments"
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
 )
 
 // The benchmark environment is the default-scale simulation (≈1.5K ASes,
@@ -169,20 +170,31 @@ func BenchmarkClassifyParallel(b *testing.B) {
 // is the headline metric tracked in BENCH_runtime.json (`make bench`). On a
 // multi-core host the parallel variants scale with workers; under
 // GOMAXPROCS=1 they measure the batching overheads alone.
+//
+// The *-telemetry variants run the same drain with a live obs.Telemetry
+// attached, so the baseline records what instrumentation costs (the budget is
+// <5% of the uninstrumented flows/sec) alongside the sampled classify-latency
+// quantiles (classify-p50-ns / classify-p99-ns).
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	env := benchEnvironment(b)
 	flows := env.Flows
-	run := func(b *testing.B, workers int) {
+	run := func(b *testing.B, workers int, withTelemetry bool) {
 		b.ReportAllocs()
+		var tel *obs.Telemetry
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			rt, err := core.NewRuntime(core.RuntimeConfig{
+			cfg := core.RuntimeConfig{
 				Pipeline: env.Pipeline,
 				Start:    env.Scenario.Cfg.Start, Bucket: env.Scenario.Cfg.Duration / 168,
 				// Hold the whole trace: benchmark the drain, not shedding.
 				Queue: core.QueueConfig{Capacity: len(flows) + 1, HighWatermark: len(flows) + 1},
-			})
+			}
+			if withTelemetry {
+				tel = obs.NewTelemetry()
+				cfg.Telemetry = tel
+			}
+			rt, err := core.NewRuntime(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -205,11 +217,21 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(flows))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+		if tel != nil {
+			// Quantiles from the last iteration's sampled histogram (one
+			// sample per 64 flows ≈ 6.9K observations over the full trace).
+			if snap, ok := tel.Metrics.FindHistogram(core.MetricClassifyDuration); ok && snap.Count > 0 {
+				b.ReportMetric(snap.Quantile(0.50)*1e9, "classify-p50-ns")
+				b.ReportMetric(snap.Quantile(0.99)*1e9, "classify-p99-ns")
+			}
+		}
 	}
-	b.Run("sequential", func(b *testing.B) { run(b, 0) })
+	b.Run("sequential", func(b *testing.B) { run(b, 0, false) })
 	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) { run(b, workers) })
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) { run(b, workers, false) })
 	}
+	b.Run("sequential-telemetry", func(b *testing.B) { run(b, 0, true) })
+	b.Run("parallel-4-telemetry", func(b *testing.B) { run(b, 4, true) })
 }
 
 // BenchmarkDepthAblation exercises the bounded-cone extension sweep.

@@ -29,6 +29,16 @@ type benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// latencySummary surfaces the sampled classify-latency quantiles emitted by
+// the telemetry-enabled benchmark variants (classify-p50-ns / classify-p99-ns
+// custom metrics) as a first-class section, so the committed baseline tracks
+// classification latency alongside throughput.
+type latencySummary struct {
+	Benchmark string  `json:"benchmark"`
+	P50ns     float64 `json:"classifyP50ns"`
+	P99ns     float64 `json:"classifyP99ns"`
+}
+
 type document struct {
 	GeneratedAt time.Time         `json:"generatedAt"`
 	GoVersion   string            `json:"goVersion"`
@@ -36,6 +46,7 @@ type document struct {
 	GoMaxProcs  int               `json:"goMaxProcs"`
 	Env         map[string]string `json:"env,omitempty"`
 	Benchmarks  []benchmark       `json:"benchmarks"`
+	Latency     []latencySummary  `json:"latency,omitempty"`
 }
 
 func main() {
@@ -66,6 +77,15 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines on stdin")
+	}
+	for _, b := range doc.Benchmarks {
+		p50, ok50 := b.Metrics["classify-p50-ns"]
+		p99, ok99 := b.Metrics["classify-p99-ns"]
+		if ok50 || ok99 {
+			doc.Latency = append(doc.Latency, latencySummary{
+				Benchmark: b.Name, P50ns: p50, P99ns: p99,
+			})
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

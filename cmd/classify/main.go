@@ -7,37 +7,49 @@
 //
 //	classify -data ixp-data/ [-json report.json] [-no-orgs]
 //	         [-checkpoint run.ckpt [-checkpoint-every N]]
-//	         [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-workers N] [-metrics-addr host:port]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -checkpoint, the aggregate state is snapshotted atomically every N
 // flows; re-running after a crash resumes from the snapshot and produces
 // the same final tallies as an uninterrupted run.
 //
-// With -workers N (N >= 1) the flows feed the live runtime's batch-parallel
-// consumer instead of the single-threaded loop: a reader goroutine pushes
-// flows with backpressure (never shedding) while N workers classify queue
-// batches into private aggregates that merge at barriers. The final tallies
-// — and any checkpoint written — are identical to the sequential pass.
+// Both passes drive the live runtime: -workers N (N >= 1) classifies with N
+// batch-parallel consumers whose private aggregates merge at barriers, 0
+// with the sequential consumer. A reader goroutine pushes flows with
+// backpressure (never shedding), so the final tallies — and any checkpoint
+// written — are identical across worker counts.
+//
+// With -metrics-addr the run serves /metrics (Prometheus text), /healthz,
+// /events, and /debug/pprof while it classifies. SIGINT/SIGTERM stop the
+// run gracefully: intake closes, the queue drains, a final checkpoint is
+// written (with -checkpoint), and the summary plus the telemetry event
+// journal are printed for the flows classified so far.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"syscall"
 	"time"
 
 	"spoofscope/internal/bgp"
 	"spoofscope/internal/core"
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
 	"spoofscope/internal/org"
 	"spoofscope/internal/stats"
 )
@@ -55,6 +67,7 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "crash-safe checkpoint file: resume from it if present, snapshot to it periodically")
 		ckptN    = flag.Uint64("checkpoint-every", 100000, "flows between checkpoint snapshots (with -checkpoint)")
 		workersN = flag.Int("workers", 0, "parallel classification workers (0 = single-threaded pass)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address during the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -139,6 +152,23 @@ func main() {
 		return
 	}
 
+	// Graceful stop: SIGINT/SIGTERM close intake, the queue drains, and the
+	// summary (plus final checkpoint, with -checkpoint) covers the flows
+	// classified so far.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var tel *obs.Telemetry
+	if *metrics != "" {
+		tel = obs.NewTelemetry()
+		srv, err := obs.Serve(*metrics, tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry: %s/metrics", srv.URL())
+	}
+
 	// Classify the flow file in a streaming pass.
 	flows, err := os.Open(filepath.Join(*dataDir, "flows.ipfix"))
 	if err != nil {
@@ -146,19 +176,17 @@ func main() {
 	}
 	defer flows.Close()
 	fr := ipfix.NewFileReader(flows)
-	var agg *core.Aggregator
-	var n int
-	if *workersN > 0 {
-		agg, n = classifyParallel(fr, pipeline, *workersN, *aggTO, *ckptPath, *ckptN)
-	} else {
-		agg, n = classifySequential(fr, pipeline, *aggTO, *ckptPath, *ckptN)
-	}
+	agg, n := classifyRun(ctx, fr, pipeline, *workersN, *aggTO, *ckptPath, *ckptN, tel)
 	for _, m := range members {
 		agg.SetMemberASN(m.Port, m.ASN)
 	}
 	log.Printf("classified %d flows", n)
 
 	printSummary(agg, len(members))
+	if tel != nil {
+		fmt.Println("event journal:")
+		fmt.Println(tel.Journal.Summary(10))
+	}
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, agg); err != nil {
@@ -180,65 +208,23 @@ func main() {
 	}
 }
 
-// classifySequential is the single-threaded pass: read, classify, aggregate
-// in one loop, snapshotting the aggregate manually every ckptN flows.
-func classifySequential(fr *ipfix.FileReader, pipeline *core.Pipeline, aggTO time.Duration, ckptPath string, ckptN uint64) (*core.Aggregator, int) {
-	agg := core.NewAggregator(time.Unix(0, 0).UTC(), 1<<62) // single bucket
-	n := 0
-	skip := uint64(0)
-	if ckptPath != "" {
-		if cp, err := core.ReadCheckpointFile(ckptPath); err == nil {
-			agg = cp.Agg
-			skip = cp.Processed
-			n = int(cp.Processed)
-			log.Printf("resuming from %s: %d flows already processed", ckptPath, cp.Processed)
-		} else if !os.IsNotExist(err) {
-			log.Fatal(err)
-		}
-	}
-	snapshot := func() {
-		cp := &core.Checkpoint{
-			Ingested: uint64(n), Queued: uint64(n), Processed: uint64(n),
-			Epoch: 1, Swaps: 1, Agg: agg,
-		}
-		if err := core.WriteCheckpointFile(ckptPath, cp); err != nil {
-			log.Fatal(err)
-		}
-	}
-	seen := uint64(0)
-	sink := func(f ipfix.Flow) {
-		if seen++; seen <= skip {
-			return // already accounted by the resumed checkpoint
-		}
-		agg.Add(f, pipeline.Classify(f))
-		n++
-		if ckptPath != "" && ckptN > 0 && uint64(n)%ckptN == 0 {
-			snapshot()
-		}
-	}
-	if err := feedFlows(fr, aggTO, sink); err != nil {
-		log.Fatal(err)
-	}
-	if ckptPath != "" {
-		snapshot()
-		log.Printf("checkpoint: %s", ckptPath)
-	}
-	return agg, n
-}
-
-// classifyParallel drives the live runtime's batch-parallel consumer over
-// the flow file: a reader goroutine feeds flows with backpressure (IngestWait
-// never sheds, so every flow is classified) while `workers` consumers drain
-// batches. Checkpoints are the runtime's quiescent snapshots — the same
-// format, resumable by either path — and the final aggregate is identical to
-// the sequential pass over the same flows.
-func classifyParallel(fr *ipfix.FileReader, pipeline *core.Pipeline, workers int, aggTO time.Duration, ckptPath string, ckptN uint64) (*core.Aggregator, int) {
+// classifyRun drives the live runtime over the flow file — the one code
+// path for both worker counts. A reader goroutine feeds flows with
+// backpressure (IngestWait never sheds, so every flow is classified) while
+// the runtime consumes: sequentially with workers == 0, with N
+// batch-parallel consumers otherwise. Checkpoints are the runtime's
+// quiescent snapshots — one format, resumable by either mode — and the
+// final aggregate is identical across worker counts. A cancelled ctx
+// (SIGINT/SIGTERM) closes intake, drains the queue, and returns the partial
+// aggregate instead of failing.
+func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipeline, workers int, aggTO time.Duration, ckptPath string, ckptN uint64, tel *obs.Telemetry) (*core.Aggregator, int) {
 	rtc := core.RuntimeConfig{
 		Pipeline: pipeline,
 		Start:    time.Unix(0, 0).UTC(), Bucket: 1 << 62, // single bucket
 		Queue:           core.QueueConfig{Capacity: 8192},
 		CheckpointPath:  ckptPath,
 		CheckpointEvery: ckptN,
+		Telemetry:       tel,
 	}
 	skip := uint64(0)
 	if ckptPath != "" {
@@ -256,21 +242,31 @@ func classifyParallel(fr *ipfix.FileReader, pipeline *core.Pipeline, workers int
 	}
 	feedErr := make(chan error, 1)
 	go func() {
-		defer rt.Close() // drained workers exit once the queue empties
+		defer rt.Close() // drained consumers exit once the queue empties
 		seen := uint64(0)
-		sink := func(f ipfix.Flow) {
+		sink := func(f ipfix.Flow) bool {
 			if seen++; seen <= skip {
-				return // already accounted by the resumed checkpoint
+				return true // already accounted by the resumed checkpoint
 			}
-			rt.IngestWait(f)
+			// False after Close (interrupt): stop reading the file.
+			return rt.IngestWait(f)
 		}
 		feedErr <- feedFlows(fr, aggTO, sink)
 	}()
-	if err := rt.RunParallel(nil, workers, nil); err != nil {
+	if workers > 0 {
+		err = rt.RunParallel(ctx, workers, nil)
+	} else {
+		err = rt.Run(ctx, nil)
+	}
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
 	if err := <-feedErr; err != nil {
 		log.Fatal(err)
+	}
+	if interrupted {
+		log.Printf("interrupted: stopped after %d flows", rt.Stats().Processed)
 	}
 	if ckptPath != "" {
 		if err := rt.Checkpoint(); err != nil {
@@ -282,15 +278,21 @@ func classifyParallel(fr *ipfix.FileReader, pipeline *core.Pipeline, workers int
 }
 
 // feedFlows streams the flow file into sink, optionally running the
-// idle-timeout metering process (flow cache) first.
-func feedFlows(fr *ipfix.FileReader, aggTO time.Duration, sink func(ipfix.Flow)) error {
+// idle-timeout metering process (flow cache) first. A sink returning false
+// stops the feed early (graceful shutdown).
+func feedFlows(fr *ipfix.FileReader, aggTO time.Duration, sink func(ipfix.Flow) bool) error {
 	if aggTO > 0 {
 		// Run the metering process first: merge sampled packets of the
 		// same flow (idle-timeout based) before classification.
-		cache := ipfix.NewFlowCache(aggTO, 0, sink)
+		stop := false
+		cache := ipfix.NewFlowCache(aggTO, 0, func(f ipfix.Flow) {
+			if !stop {
+				stop = !sink(f)
+			}
+		})
 		if err := fr.ForEach(func(f ipfix.Flow) bool {
 			cache.Add(f)
-			return true
+			return !stop
 		}); err != nil {
 			return err
 		}
@@ -299,8 +301,7 @@ func feedFlows(fr *ipfix.FileReader, aggTO time.Duration, sink func(ipfix.Flow))
 		return nil
 	}
 	return fr.ForEach(func(f ipfix.Flow) bool {
-		sink(f)
-		return true
+		return sink(f)
 	})
 }
 

@@ -9,6 +9,11 @@
 // "apply it to filter your incoming traffic" deployment sketched in the
 // paper's conclusion, minus the assumption that the feed never hiccups.
 //
+// A Telemetry bundle watches the whole ordeal: /healthz reports unready
+// until the first replay promotes epoch 1, the BGP supervisor's dials and
+// flaps land in the metric registry, and the event journal replays the
+// establish → flap → re-establish → swap sequence at the end.
+//
 //	go run ./examples/bgpfeed
 package main
 
@@ -56,15 +61,20 @@ func run() error {
 	go routeServer(ln, anns)
 
 	// The runtime starts with NO routing state: flows queue until the
-	// first complete replay promotes epoch 1.
+	// first complete replay promotes epoch 1 — and /healthz says so.
+	tel := spoofscope.NewTelemetry()
 	rt, err := spoofscope.NewLiveRuntime(spoofscope.LiveRuntimeConfig{
 		Members: sim.Members(),
 		Start:   time.Now(), Bucket: time.Hour,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	if h := tel.Health(); !h.Ready {
+		log.Printf("healthz before the first replay: status=%s (%s)", h.Status, h.Detail)
+	}
 
 	feedDone := make(chan error, 1)
 	go func() {
@@ -155,6 +165,11 @@ func run() error {
 	if stale > 0 {
 		fmt.Printf("  (%d verdicts were tagged stale during feed gaps)\n", stale)
 	}
+	if h := tel.Health(); h.Ready {
+		fmt.Printf("\nhealthz after the run: status=%s\n", h.Status)
+	}
+	fmt.Println("\nevent journal (establish -> flap -> re-establish -> swap):")
+	fmt.Println(tel.Journal.Summary(8))
 	return nil
 }
 

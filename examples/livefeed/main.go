@@ -9,15 +9,23 @@
 // the versioned checkpoint codec and read back — the artifact a multi-week
 // deployment would resume from after a crash.
 //
+// The whole run is observable: one Telemetry bundle serves /metrics,
+// /healthz, and the event journal over an ephemeral HTTP port, and the
+// example scrapes itself at the end — the same endpoints a Prometheus
+// deployment would poll.
+//
 //	go run ./examples/livefeed
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"spoofscope"
@@ -45,6 +53,17 @@ func run() error {
 	defer os.RemoveAll(dir)
 	ckpt := filepath.Join(dir, "run.ckpt")
 
+	// One telemetry bundle for the whole process: the runtime, the queue,
+	// and the collector all register into it, and an embedded HTTP server
+	// exposes it on an ephemeral port.
+	tel := spoofscope.NewTelemetry()
+	msrv, err := spoofscope.ServeMetrics("127.0.0.1:0", tel)
+	if err != nil {
+		return err
+	}
+	defer msrv.Close()
+	log.Printf("telemetry on %s/metrics", msrv.URL())
+
 	start, _ := sim.Env().Scenario.Window()
 	rt, err := spoofscope.NewLiveRuntime(spoofscope.LiveRuntimeConfig{
 		Classifier: sim.Classifier(),
@@ -53,6 +72,7 @@ func run() error {
 		Queue:           spoofscope.QueueConfig{Capacity: 8192, ShedSeed: 5},
 		CheckpointPath:  ckpt,
 		CheckpointEvery: 2000,
+		Telemetry:       tel,
 	})
 	if err != nil {
 		return err
@@ -62,6 +82,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	collector.Instrument(tel, "udp")
 	log.Printf("collector listening on %s", collector.Addr())
 
 	flows := sim.Flows()
@@ -135,6 +156,47 @@ func run() error {
 	} {
 		fmt.Printf("  %-9s %6d\n", c, counts[c])
 	}
+
+	// Self-scrape: the same exposition a Prometheus server would collect.
+	if err := scrape(msrv.URL()); err != nil {
+		return err
+	}
+	fmt.Println("\nevent journal:")
+	fmt.Println(tel.Journal.Summary(6))
+	return nil
+}
+
+// scrape fetches /metrics and prints the spoofscope samples a deployment
+// would alert on — per-class flow counts, queue accounting, collector
+// health — plus the /healthz verdict.
+func scrape(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nscraped from /metrics:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "spoofscope_flows_classified_total") ||
+			strings.HasPrefix(line, "spoofscope_queue_") ||
+			strings.HasPrefix(line, "spoofscope_collector_flows_total") ||
+			strings.HasPrefix(line, "spoofscope_collector_malformed_total") {
+			fmt.Println("  " + line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer hz.Body.Close()
+	body := make([]byte, 256)
+	n, _ := hz.Body.Read(body)
+	fmt.Printf("\n/healthz -> %s %s", hz.Status, body[:n])
 	return nil
 }
 

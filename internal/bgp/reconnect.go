@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"spoofscope/internal/obs"
 )
 
 // SessionState is the supervision state of a Reconnector.
@@ -80,6 +82,10 @@ type ReconnectorConfig struct {
 	OnFlap func(err error)
 	// Seed drives the jitter RNG, making backoff schedules reproducible.
 	Seed int64
+	// Telemetry, when non-nil, registers session metrics (state, dials,
+	// flaps, hold expiries — labeled peer=Addr) with its registry and
+	// journals establish/flap/give-up transitions.
+	Telemetry *obs.Telemetry
 }
 
 func (c *ReconnectorConfig) ctx() context.Context {
@@ -120,6 +126,9 @@ type ReconnectorStats struct {
 	Dials int
 	// Flaps counts established sessions that subsequently failed.
 	Flaps int
+	// HoldExpiries counts the flaps caused by hold-timer expiry (a silent
+	// peer) rather than transport or decode failure.
+	HoldExpiries int
 	// LastError is the most recent dial/session failure ("" if none).
 	LastError string
 }
@@ -129,17 +138,19 @@ type ReconnectorStats struct {
 // the OnEstablish hook on every re-establishment. Recv is the single-consumer
 // read path, like Session.Recv; Close and Stats are safe from any goroutine.
 type Reconnector struct {
-	cfg ReconnectorConfig
+	cfg     ReconnectorConfig
+	journal *obs.Journal // nil = silent
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	sess     *Session
-	state    SessionState
-	dials    int
-	flaps    int
-	lastErr  error
-	closed   chan struct{}
-	closeOne sync.Once
+	mu           sync.Mutex
+	rng          *rand.Rand
+	sess         *Session
+	state        SessionState
+	dials        int
+	flaps        int
+	holdExpiries int
+	lastErr      error
+	closed       chan struct{}
+	closeOne     sync.Once
 }
 
 // NewReconnector builds a supervisor; no connection is made until Recv.
@@ -154,12 +165,47 @@ func NewReconnector(cfg ReconnectorConfig) *Reconnector {
 			}
 		}
 	}
-	return &Reconnector{
+	r := &Reconnector{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		state:  StateIdle,
 		closed: make(chan struct{}),
 	}
+	if t := cfg.Telemetry; t != nil {
+		r.journal = t.Journal
+		r.register(t.Metrics)
+	}
+	return r
+}
+
+// register exposes the supervision counters through the metric registry.
+// All metrics are func-backed over the same fields Stats() snapshots, so a
+// scrape and a Stats() call can never disagree.
+func (r *Reconnector) register(m *obs.Registry) {
+	peer := obs.Label{Name: "peer", Value: r.cfg.Addr}
+	locked := func(f func() uint64) func() uint64 {
+		return func() uint64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return f()
+		}
+	}
+	m.GaugeFunc("spoofscope_bgp_session_state",
+		"Supervision state: 0 idle, 1 connecting, 2 established, 3 backoff, 4 closed.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(r.state)
+		}, peer)
+	m.CounterFunc("spoofscope_bgp_dials_total",
+		"BGP connection attempts, including the first.",
+		locked(func() uint64 { return uint64(r.dials) }), peer)
+	m.CounterFunc("spoofscope_bgp_flaps_total",
+		"Established BGP sessions that subsequently failed.",
+		locked(func() uint64 { return uint64(r.flaps) }), peer)
+	m.CounterFunc("spoofscope_bgp_hold_expiries_total",
+		"BGP flaps caused by hold-timer expiry (silent peer).",
+		locked(func() uint64 { return uint64(r.holdExpiries) }), peer)
 }
 
 // Recv returns the next UPDATE from the supervised session, transparently
@@ -185,8 +231,12 @@ func (r *Reconnector) Recv() (*Update, error) {
 		}
 		r.mu.Lock()
 		r.flaps++
+		if errors.Is(err, ErrHoldExpired) {
+			r.holdExpiries++
+		}
 		r.lastErr = err
 		r.mu.Unlock()
+		r.journal.Recordf(obs.EventBGPFlap, "session to %s failed: %v; reconnecting", r.cfg.Addr, err)
 		if r.cfg.OnFlap != nil {
 			r.cfg.OnFlap(err)
 		}
@@ -205,7 +255,7 @@ func (r *Reconnector) Session() *Session {
 func (r *Reconnector) Stats() ReconnectorStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := ReconnectorStats{State: r.state, Dials: r.dials, Flaps: r.flaps}
+	st := ReconnectorStats{State: r.state, Dials: r.dials, Flaps: r.flaps, HoldExpiries: r.holdExpiries}
 	if r.lastErr != nil {
 		st.LastError = r.lastErr.Error()
 	}
@@ -277,6 +327,7 @@ func (r *Reconnector) ensure() (*Session, error) {
 			r.sess = sess
 			r.state = StateEstablished
 			r.mu.Unlock()
+			r.journal.Recordf(obs.EventBGPEstablish, "session to %s established (attempt %d)", r.cfg.Addr, attempt)
 			return sess, nil
 		}
 		r.mu.Lock()
@@ -284,6 +335,7 @@ func (r *Reconnector) ensure() (*Session, error) {
 		r.mu.Unlock()
 		if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
 			r.setState(StateIdle)
+			r.journal.Recordf(obs.EventBGPGiveUp, "giving up on %s after %d attempts: %v", r.cfg.Addr, attempt, err)
 			return nil, fmt.Errorf("bgp: giving up on %s after %d attempts: %w", r.cfg.Addr, attempt, err)
 		}
 		r.setState(StateBackoff)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"spoofscope/internal/ipfix"
+	"spoofscope/internal/obs"
 )
 
 // QueueConfig tunes the bounded ingest queue in front of the live runtime.
@@ -88,6 +89,10 @@ type QueueStats struct {
 // the queue is closed and empty; it is the runtime's single-consumer path.
 type IngestQueue struct {
 	cfg QueueConfig
+	// journal (nil = silent) receives shed-start/shed-stop watermark
+	// transition events; Record only takes the journal's own lock, so
+	// calling it under q.mu cannot deadlock.
+	journal *obs.Journal
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond
@@ -109,6 +114,28 @@ func NewIngestQueue(cfg QueueConfig) *IngestQueue {
 	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
+}
+
+// shedStartLocked flips the queue into shedding, journaling the watermark
+// transition the first time. Callers hold q.mu.
+func (q *IngestQueue) shedStartLocked() {
+	if !q.shedding {
+		q.shedding = true
+		q.journal.Recordf(obs.EventShedStart,
+			"queue depth %d reached high watermark %d; non-blocking arrivals shed until drained",
+			q.depth, q.cfg.highWatermark())
+	}
+}
+
+// shedStopLocked clears shedding once the consumer drains the queue back to
+// the low watermark, journaling the transition. Callers hold q.mu.
+func (q *IngestQueue) shedStopLocked() {
+	if q.shedding {
+		q.shedding = false
+		q.journal.Recordf(obs.EventShedStop,
+			"queue drained to low watermark %d (%d shed in total); accepting all arrivals",
+			q.cfg.lowWatermark(), q.stats.Shed)
+	}
 }
 
 // shedKey maps (seed, arrival index) to [0, 1) via a splitmix64-style
@@ -134,7 +161,7 @@ func (q *IngestQueue) Push(f ipfix.Flow) bool {
 	n := q.stats.Ingested
 	q.stats.Ingested++
 	if q.depth >= q.cfg.highWatermark() {
-		q.shedding = true
+		q.shedStartLocked()
 	}
 	shed := q.depth >= len(q.ring) ||
 		(q.shedding && shedKey(q.cfg.ShedSeed, n) < q.cfg.shedFraction())
@@ -149,7 +176,7 @@ func (q *IngestQueue) Push(f ipfix.Flow) bool {
 		q.stats.HighWatermarkObserved = q.depth
 	}
 	if q.depth >= q.cfg.highWatermark() {
-		q.shedding = true
+		q.shedStartLocked()
 	}
 	q.notEmpty.Signal()
 	return true
@@ -178,7 +205,7 @@ func (q *IngestQueue) PushWait(f ipfix.Flow) bool {
 		q.stats.HighWatermarkObserved = q.depth
 	}
 	if q.depth >= q.cfg.highWatermark() {
-		q.shedding = true
+		q.shedStartLocked()
 	}
 	q.notEmpty.Signal()
 	return true
@@ -199,8 +226,8 @@ func (q *IngestQueue) Pop() (ipfix.Flow, bool) {
 	q.ring[q.head] = ipfix.Flow{}
 	q.head = (q.head + 1) % len(q.ring)
 	q.depth--
-	if q.shedding && q.depth <= q.cfg.lowWatermark() {
-		q.shedding = false
+	if q.depth <= q.cfg.lowWatermark() {
+		q.shedStopLocked()
 	}
 	q.notFull.Signal()
 	return f, true
@@ -218,8 +245,8 @@ func (q *IngestQueue) popBatchLocked(dst []ipfix.Flow) int {
 		q.head = (q.head + 1) % len(q.ring)
 	}
 	q.depth -= n
-	if q.shedding && q.depth <= q.cfg.lowWatermark() {
-		q.shedding = false
+	if q.depth <= q.cfg.lowWatermark() {
+		q.shedStopLocked()
 	}
 	if n > 0 {
 		q.notFull.Broadcast()

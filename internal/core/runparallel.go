@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"spoofscope/internal/ipfix"
+	"spoofscope/internal/obs"
 )
 
 // consumeBatchSize is how many flows a parallel worker drains per queue
@@ -88,10 +89,18 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 		priv       *Aggregator
 		privCount  uint64
 		batchEpoch Epoch
+		// latShard buffers this worker's sampled classify latencies off the
+		// shared histogram; nil (telemetry off) makes Observe/Flush no-ops.
+		latShard *obs.Shard
+		seen     uint64
 	)
+	if rt.classifyHist != nil {
+		latShard = rt.classifyHist.NewShard()
+	}
 	// flush merges the private shard into the canonical aggregate. Merge
 	// consumes the shard, so a fresh one is started afterwards.
 	flush := func() {
+		latShard.Flush()
 		if privCount == 0 {
 			return
 		}
@@ -142,10 +151,11 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 		for i := 0; i < n; i++ {
 			f := buf[i]
 			lv := LiveVerdict{
-				Verdict: st.pipeline.Classify(f),
+				Verdict: rt.classifyTimed(st.pipeline, f, seen, latShard.Observe),
 				Epoch:   st.epoch,
 				Stale:   rt.degraded.Load(),
 			}
+			seen++
 			if lv.Stale {
 				staleN++
 			}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"spoofscope/internal/ipfix"
+	"spoofscope/internal/obs"
 )
 
 // RuntimeConfig assembles a live runtime.
@@ -41,6 +42,15 @@ type RuntimeConfig struct {
 	// Resume restores a prior run's state (see ReadCheckpointFile). The
 	// caller re-feeds the flow source from index Resume.Ingested onward.
 	Resume *Checkpoint
+	// Telemetry, when non-nil, registers the runtime's counters with the
+	// metric registry (func-backed over the same state Stats() reads, so a
+	// scrape can never disagree with a snapshot), installs the /healthz
+	// readiness source, samples classify latency into a histogram, and
+	// records lifecycle events — epoch swaps, degradation, shedding
+	// watermark transitions, checkpoint writes and failures — in the
+	// journal. One runtime per Telemetry: a second runtime re-registering
+	// the same names would replace the first's func-backed metrics.
+	Telemetry *obs.Telemetry
 }
 
 // RuntimeStats is a snapshot of the live runtime's health — what an
@@ -102,6 +112,12 @@ type Runtime struct {
 	checkpoints uint64
 	ckptErrors  uint64
 	lastCkptErr error
+
+	// Telemetry (all nil/no-op without cfg.Telemetry): journal for
+	// lifecycle events, classifyHist for sampled classify latency.
+	tel          *obs.Telemetry
+	journal      *obs.Journal
+	classifyHist *obs.Histogram
 }
 
 // NewRuntime builds a runtime. With cfg.Resume set, the aggregate state and
@@ -122,6 +138,9 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		bucket = time.Hour
 	}
 	rt.agg = NewAggregator(start, bucket)
+	if cfg.Telemetry != nil {
+		rt.instrument(cfg.Telemetry)
+	}
 	if cp := cfg.Resume; cp != nil {
 		if cp.Agg == nil {
 			return nil, fmt.Errorf("core: resume checkpoint has no aggregate")
@@ -193,13 +212,19 @@ func (rt *Runtime) Swap(p *Pipeline) Epoch {
 		close(rt.firstEpoch)
 	}
 	rt.swapMu.Unlock()
+	rt.journal.Recordf(obs.EventEpochSwap, "promoted epoch %d", e)
 	return e
 }
 
 // MarkDegraded records that the routing feed is down or a rebuild is
 // pending: verdicts issued from now until the next Swap carry Stale=true
 // instead of silently pretending the old state is current.
-func (rt *Runtime) MarkDegraded() { rt.degraded.Store(true) }
+func (rt *Runtime) MarkDegraded() {
+	if !rt.degraded.Swap(true) {
+		rt.journal.Record(obs.EventDegraded,
+			"routing feed degraded; verdicts marked stale until the next swap")
+	}
+}
 
 // Step consumes one flow: pop, classify under the current epoch, aggregate,
 // and checkpoint when due. It blocks until a flow is available (and, before
@@ -213,7 +238,7 @@ func (rt *Runtime) Step() (ipfix.Flow, LiveVerdict, bool) {
 	<-rt.firstEpoch
 	st := rt.state.Load()
 	lv := LiveVerdict{
-		Verdict: st.pipeline.Classify(f),
+		Verdict: rt.classifyTimed(st.pipeline, f, rt.processed.Load(), rt.observeLatency),
 		Epoch:   st.epoch,
 		Stale:   rt.degraded.Load(),
 	}
@@ -321,12 +346,15 @@ func (rt *Runtime) checkpointLocked() error {
 	if err := WriteCheckpointFile(rt.cfg.CheckpointPath, cp); err != nil {
 		rt.ckptErrors++
 		rt.lastCkptErr = err
+		rt.journal.Recordf(obs.EventCheckpointError, "snapshot at %d flows failed: %v", rt.merged, err)
 		return err
 	}
 	rt.lastCkpt = rt.merged
 	rt.ckptMark.Store(rt.merged)
 	rt.checkpoints++
 	rt.lastCkptErr = nil
+	rt.journal.Recordf(obs.EventCheckpoint, "wrote %s at %d flows (epoch %d)",
+		rt.cfg.CheckpointPath, cp.Processed, cp.Epoch)
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"time"
+
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/obs"
+)
+
+// Metric names the runtime registers; exported so benchmarks and smoke
+// tests can find them without restating string literals.
+const (
+	MetricFlowsClassified  = "spoofscope_flows_classified_total"
+	MetricClassifyDuration = "spoofscope_classify_duration_seconds"
+)
+
+// latencySampleMask samples every 64th classification for the latency
+// histogram: cheap enough to leave on permanently (two clock reads per 64
+// flows), frequent enough that a scrape sees thousands of samples per
+// million flows.
+const latencySampleMask = 63
+
+// instrument registers the runtime's health counters with t's registry,
+// installs the readiness source, and keeps journal references for
+// lifecycle events. Every metric that mirrors a Stats() field is
+// func-backed over the same atomics and locks Stats() reads, so the scrape
+// endpoint and the Go-level snapshot can never disagree. Per-class flow
+// counters read the canonical Aggregator tallies under rt.mu — during a
+// parallel run they lag by at most the workers' unmerged batches and match
+// exactly once drained.
+func (rt *Runtime) instrument(t *obs.Telemetry) {
+	rt.tel = t
+	rt.journal = t.Journal
+	rt.queue.journal = t.Journal
+	m := t.Metrics
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		c := c
+		label := obs.Label{Name: "class", Value: c.String()}
+		m.CounterFunc(MetricFlowsClassified,
+			"Flows classified and merged into the canonical aggregate, by traffic class.",
+			func() uint64 {
+				rt.mu.Lock()
+				defer rt.mu.Unlock()
+				return rt.agg.Total[c].Flows
+			}, label)
+		m.CounterFunc("spoofscope_packets_classified_total",
+			"Sampled packets classified and merged into the canonical aggregate, by traffic class.",
+			func() uint64 {
+				rt.mu.Lock()
+				defer rt.mu.Unlock()
+				return rt.agg.Total[c].Packets
+			}, label)
+	}
+	m.GaugeFunc("spoofscope_runtime_epoch",
+		"Routing-state generation currently classifying (0 = none promoted yet).",
+		func() float64 { return float64(rt.currentEpoch()) })
+	m.CounterFunc("spoofscope_runtime_swaps_total",
+		"Routing-state promotions since start.", rt.swaps.Load)
+	m.GaugeFunc("spoofscope_runtime_degraded",
+		"1 while the routing feed is known stale (verdicts carry Stale=true).",
+		func() float64 {
+			if rt.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	m.CounterFunc("spoofscope_runtime_stale_verdicts_total",
+		"Verdicts issued while the routing feed was degraded.", rt.stale.Load)
+	m.CounterFunc("spoofscope_runtime_processed_total",
+		"Flows classified, including those parallel workers have not yet merged.",
+		rt.processed.Load)
+	m.CounterFunc("spoofscope_runtime_checkpoints_total",
+		"Checkpoint snapshots written successfully.",
+		func() uint64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return rt.checkpoints
+		})
+	m.CounterFunc("spoofscope_runtime_checkpoint_errors_total",
+		"Checkpoint snapshots that failed to persist.",
+		func() uint64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return rt.ckptErrors
+		})
+	m.GaugeFunc("spoofscope_queue_depth",
+		"Current ingest queue occupancy.",
+		func() float64 { return float64(rt.queue.Stats().Depth) })
+	m.GaugeFunc("spoofscope_queue_high_watermark_observed",
+		"Maximum ingest queue occupancy ever reached.",
+		func() float64 { return float64(rt.queue.Stats().HighWatermarkObserved) })
+	m.GaugeFunc("spoofscope_queue_shedding",
+		"1 while the queue is above the watermark hysteresis band and dropping.",
+		func() float64 {
+			if rt.queue.Stats().Shedding {
+				return 1
+			}
+			return 0
+		})
+	m.CounterFunc("spoofscope_queue_ingested_total",
+		"Flows offered to the ingest queue.",
+		func() uint64 { return rt.queue.Stats().Ingested })
+	m.CounterFunc("spoofscope_queue_queued_total",
+		"Flows accepted into the ingest queue.",
+		func() uint64 { return rt.queue.Stats().Queued })
+	m.CounterFunc("spoofscope_queue_shed_total",
+		"Flows dropped by the watermark policy or a full queue.",
+		func() uint64 { return rt.queue.Stats().Shed })
+	rt.classifyHist = m.Histogram(MetricClassifyDuration,
+		"Sampled per-flow classification latency (every 64th flow).",
+		obs.LatencyBuckets)
+	t.SetHealth(rt.health)
+}
+
+// health derives the /healthz verdict from first-epoch promotion and
+// degradation state: unready until a pipeline has been promoted (flows
+// queue but nothing classifies), degraded-but-ready while the routing feed
+// is down (verdicts flow, marked stale), ok otherwise.
+func (rt *Runtime) health() obs.Health {
+	switch {
+	case rt.currentEpoch() == 0:
+		return obs.Health{Ready: false, Status: "unready",
+			Detail: "no routing-state epoch promoted yet; flows queue until the first swap"}
+	case rt.degraded.Load():
+		return obs.Health{Ready: true, Status: "degraded",
+			Detail: "routing feed degraded; verdicts are marked stale until the next swap"}
+	}
+	return obs.Health{Ready: true, Status: "ok"}
+}
+
+// classifyTimed classifies f against p, feeding the sampled latency
+// histogram: every 64th call (by the caller-maintained counter n) is
+// timed into sink. sink may be the shared histogram (sequential consumer)
+// or a per-worker shard (parallel consumers); a nil-histogram runtime
+// skips the clock entirely.
+func (rt *Runtime) classifyTimed(p *Pipeline, f ipfix.Flow, n uint64, observe func(float64)) Verdict {
+	if rt.classifyHist == nil || n&latencySampleMask != 0 {
+		return p.Classify(f)
+	}
+	t0 := time.Now()
+	v := p.Classify(f)
+	observe(time.Since(t0).Seconds())
+	return v
+}
+
+// observeLatency is the sequential consumer's histogram sink.
+func (rt *Runtime) observeLatency(seconds float64) { rt.classifyHist.Observe(seconds) }

@@ -34,7 +34,7 @@ func TestServeStreamSkipsMalformedFramedMessages(t *testing.T) {
 	}
 
 	var got []Flow
-	n, malformed, err := serveStream(&stream, 0, func(f Flow) bool {
+	n, malformed, err := serveStream(&stream, NewDecoder(), 0, func(f Flow) bool {
 		got = append(got, f)
 		return true
 	})
@@ -54,7 +54,7 @@ func TestServeStreamFramingLossIsFatal(t *testing.T) {
 	b := make([]byte, msgHeaderLen)
 	binary.BigEndian.PutUint16(b[0:], version)
 	binary.BigEndian.PutUint16(b[2:], 3)
-	_, _, err := serveStream(bytes.NewReader(b), 0, func(Flow) bool { return true })
+	_, _, err := serveStream(bytes.NewReader(b), NewDecoder(), 0, func(Flow) bool { return true })
 	if err == nil {
 		t.Fatal("framing loss not reported")
 	}
@@ -74,7 +74,9 @@ func TestServeManyConnectionsSurviveFaults(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[uint16]bool{} // key: SrcPort, unique per flow below
 	done := make(chan error, 1)
-	go func() { done <- col.Serve(func(f Flow) bool { mu.Lock(); seen[f.SrcPort] = true; mu.Unlock(); return true }) }()
+	go func() {
+		done <- col.Serve(func(f Flow) bool { mu.Lock(); seen[f.SrcPort] = true; mu.Unlock(); return true })
+	}()
 
 	flowsFor := func(base, n int) []Flow {
 		out := make([]Flow, n)

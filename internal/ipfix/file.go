@@ -109,7 +109,24 @@ func (fr *FileReader) ForEach(fn func(Flow) bool) error {
 	}
 }
 
+// CollectorStats reports the reader's decode counters on the same struct
+// the live collectors use, so file replays and network feeds share one
+// health-reporting path. Transport-level fields (Connections, Disconnects)
+// stay zero: a file has no transport.
+func (fr *FileReader) CollectorStats() CollectorStats {
+	return CollectorStats{
+		Flows:          fr.dec.RecordsDecoded,
+		Messages:       fr.dec.Messages,
+		RecordsDecoded: fr.dec.RecordsDecoded,
+		RecordsSkipped: fr.dec.RecordsSkipped,
+	}
+}
+
 // Stats exposes decoder statistics.
+//
+// Deprecated: use CollectorStats, which carries the same counters on the
+// struct shared with the live collectors.
 func (fr *FileReader) Stats() (messages, decoded, skipped int) {
-	return fr.dec.Messages, fr.dec.RecordsDecoded, fr.dec.RecordsSkipped
+	st := fr.CollectorStats()
+	return st.Messages, st.RecordsDecoded, st.RecordsSkipped
 }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"spoofscope/internal/obs"
 )
 
 // TCPExporter streams IPFIX messages over a TCP connection (RFC 7011 §10.4:
@@ -70,11 +72,19 @@ type CollectorStats struct {
 	// Disconnects counts connections torn down by transport, framing, or
 	// deadline errors rather than an orderly exporter close.
 	Disconnects int
+	// Messages, RecordsDecoded, and RecordsSkipped aggregate the decoder-
+	// level counters across the collector's decoders: messages decoded, data
+	// records delivered, and records dropped for unknown templates or short
+	// reads. (These were once exposed as bare tuples; see DecoderStats.)
+	Messages       int
+	RecordsDecoded int
+	RecordsSkipped int
 }
 
 // TCPCollector accepts exporter connections and decodes their streams.
 type TCPCollector struct {
-	ln net.Listener
+	ln      net.Listener
+	journal *obs.Journal // set by Instrument; nil = silent
 	// IdleTimeout bounds per-message silence on a connection; a read that
 	// exceeds it tears down that connection (counted as a disconnect).
 	// Zero means no limit.
@@ -120,15 +130,32 @@ func (c *TCPCollector) AcceptOne(fn func(Flow) bool) (int, error) {
 	c.mu.Lock()
 	c.stats.Connections++
 	c.mu.Unlock()
-	n, malformed, err := serveStream(conn, c.IdleTimeout, fn)
+	dec := NewDecoder()
+	n, malformed, err := serveStream(conn, dec, c.IdleTimeout, fn)
+	c.finishStream(conn, dec, n, malformed, err)
+	return n, err
+}
+
+// finishStream folds one connection's outcome — flow/malformed counts, the
+// per-connection decoder's counters, and the disconnect verdict — into the
+// collector's stats, and journals transport failures when instrumented.
+func (c *TCPCollector) finishStream(conn net.Conn, dec *Decoder, n, malformed int, err error) {
 	c.mu.Lock()
+	delete(c.conns, conn)
 	c.stats.Flows += n
 	c.stats.Malformed += malformed
+	c.stats.Messages += dec.Messages
+	c.stats.RecordsDecoded += dec.RecordsDecoded
+	c.stats.RecordsSkipped += dec.RecordsSkipped
+	closed := c.closed
 	if err != nil {
 		c.stats.Disconnects++
 	}
 	c.mu.Unlock()
-	return n, err
+	if err != nil && !closed {
+		c.journal.Recordf(obs.EventCollectorError,
+			"tcp connection from %s failed after %d flows: %v", conn.RemoteAddr(), n, err)
+	}
 }
 
 // Serve accepts exporter connections until Close or Shutdown, streaming
@@ -158,19 +185,13 @@ func (c *TCPCollector) Serve(fn func(Flow) bool) error {
 		go func(conn net.Conn) {
 			defer c.wg.Done()
 			defer conn.Close()
-			n, malformed, err := serveStream(conn, c.IdleTimeout, func(f Flow) bool {
+			dec := NewDecoder()
+			n, malformed, err := serveStream(conn, dec, c.IdleTimeout, func(f Flow) bool {
 				c.fnMu.Lock()
 				defer c.fnMu.Unlock()
 				return fn(f)
 			})
-			c.mu.Lock()
-			delete(c.conns, conn)
-			c.stats.Flows += n
-			c.stats.Malformed += malformed
-			if err != nil {
-				c.stats.Disconnects++
-			}
-			c.mu.Unlock()
+			c.finishStream(conn, dec, n, malformed, err)
 		}(conn)
 	}
 }
@@ -210,15 +231,16 @@ type readDeadliner interface {
 	SetReadDeadline(t time.Time) error
 }
 
-// serveStream decodes back-to-back IPFIX messages from a byte stream. A
+// serveStream decodes back-to-back IPFIX messages from a byte stream into
+// dec (one decoder per connection: templates are per-stream state). A
 // message that frames correctly but fails to decode is skipped and counted
 // in malformed — one bad export must not tear down the feed. Only a framing
 // failure (garbage length, short read, deadline) ends the stream with an
-// error, because message boundaries are lost at that point.
-func serveStream(r io.Reader, idle time.Duration, fn func(Flow) bool) (n, malformed int, err error) {
+// error, because message boundaries are lost at that point. The caller owns
+// dec and harvests its counters after the stream ends.
+func serveStream(r io.Reader, dec *Decoder, idle time.Duration, fn func(Flow) bool) (n, malformed int, err error) {
 	rd, hasDeadline := r.(readDeadliner)
 	br := bufio.NewReaderSize(r, 1<<16)
-	dec := NewDecoder()
 	var flows []Flow
 	for {
 		if hasDeadline && idle > 0 {

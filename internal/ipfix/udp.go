@@ -116,12 +116,14 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 			malformed++
 			c.mu.Lock()
 			c.stats.Malformed++
+			c.syncDecoderLocked()
 			c.mu.Unlock()
 			continue
 		}
 		flows = batch // reuse the grown buffer across datagrams
 		c.mu.Lock()
 		c.stats.Flows += len(batch)
+		c.syncDecoderLocked()
 		c.mu.Unlock()
 		for _, f := range batch {
 			fn(f)
@@ -144,8 +146,18 @@ func (c *UDPCollector) Shutdown() error {
 	return c.conn.Close()
 }
 
+// syncDecoderLocked mirrors the decoder's counters into the stats snapshot.
+// The decoder itself is touched only by the Serve goroutine; copying under
+// c.mu at the points Serve already locks lets Stats read them race-free.
+func (c *UDPCollector) syncDecoderLocked() {
+	c.stats.Messages = c.dec.Messages
+	c.stats.RecordsDecoded = c.dec.RecordsDecoded
+	c.stats.RecordsSkipped = c.dec.RecordsSkipped
+}
+
 // Stats returns the collector's health counters (Connections stays zero:
-// UDP has no connections to count).
+// UDP has no connections to count). Decoder-level counters are current as
+// of the last datagram Serve finished with.
 func (c *UDPCollector) Stats() CollectorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -153,6 +165,10 @@ func (c *UDPCollector) Stats() CollectorStats {
 }
 
 // DecoderStats exposes decoder-level statistics.
+//
+// Deprecated: use Stats, whose Messages, RecordsDecoded, and RecordsSkipped
+// fields carry the same counters on the shared CollectorStats struct.
 func (c *UDPCollector) DecoderStats() (messages, decoded, skipped int) {
-	return c.dec.Messages, c.dec.RecordsDecoded, c.dec.RecordsSkipped
+	st := c.Stats()
+	return st.Messages, st.RecordsDecoded, st.RecordsSkipped
 }

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// families sorted by name, samples by label key, histograms as cumulative
+// buckets with an explicit +Inf, integer values without a decimal point.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "Sorted last.").Add(2)
+	r.Counter("aa_flows_total", "Flows by class.", Label{Name: "class", Value: "valid"}).Add(10)
+	r.Counter("aa_flows_total", "Flows by class.", Label{Name: "class", Value: "bogon"}).Add(3)
+	r.Gauge("mm_depth", "Queue depth.").Set(1.5)
+	h := r.Histogram("hh_lat_seconds", "Latency.", []float64{0.1, 0.2})
+	h.Observe(0.05)
+	h.Observe(0.15)
+	h.Observe(0.15)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_flows_total Flows by class.
+# TYPE aa_flows_total counter
+aa_flows_total{class="bogon"} 3
+aa_flows_total{class="valid"} 10
+# HELP hh_lat_seconds Latency.
+# TYPE hh_lat_seconds histogram
+hh_lat_seconds_bucket{le="0.1"} 1
+hh_lat_seconds_bucket{le="0.2"} 3
+hh_lat_seconds_bucket{le="+Inf"} 4
+hh_lat_seconds_sum 9.35
+hh_lat_seconds_count 4
+# HELP mm_depth Queue depth.
+# TYPE mm_depth gauge
+mm_depth 1.5
+# HELP zz_last_total Sorted last.
+# TYPE zz_last_total counter
+zz_last_total 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "E.", Label{Name: "path", Value: "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label escaping:\n%s", sb.String())
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", Label{Name: "k", Value: "v"}).Add(5)
+	r.Histogram("h_seconds", "H.", []float64{1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var fams []JSONFamily
+	if err := json.Unmarshal([]byte(sb.String()), &fams); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families: got %d, want 2", len(fams))
+	}
+	if fams[0].Name != "c_total" || *fams[0].Samples[0].Value != 5 ||
+		fams[0].Samples[0].Labels["k"] != "v" {
+		t.Fatalf("counter family: %+v", fams[0])
+	}
+	if fams[1].Samples[0].Histogram.Count != 1 {
+		t.Fatalf("histogram family: %+v", fams[1])
+	}
+}
+
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", "L.", []float64{1}, Label{Name: "w", Value: "0"}).Observe(0.5)
+	r.Histogram("lat", "L.", []float64{1}, Label{Name: "w", Value: "1"})
+	if snap, ok := r.FindHistogram("lat", Label{Name: "w", Value: "0"}); !ok || snap.Count != 1 {
+		t.Fatalf("labeled lookup: ok=%v snap=%+v", ok, snap)
+	}
+	if _, ok := r.FindHistogram("lat", Label{Name: "w", Value: "9"}); ok {
+		t.Fatal("lookup with unknown label must miss")
+	}
+	if _, ok := r.FindHistogram("nope"); ok {
+		t.Fatal("unknown name must miss")
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the runtime and its feeds. Keeping these as
+// shared constants means an operator can alert on kinds without parsing
+// message text.
+const (
+	EventEpochSwap       = "epoch-swap"
+	EventDegraded        = "degraded"
+	EventShedStart       = "shed-start"
+	EventShedStop        = "shed-stop"
+	EventCheckpoint      = "checkpoint"
+	EventCheckpointError = "checkpoint-error"
+	EventBGPEstablish    = "bgp-establish"
+	EventBGPFlap         = "bgp-flap"
+	EventBGPGiveUp       = "bgp-giveup"
+	EventCollectorError  = "collector-error"
+)
+
+// Event is one structured journal entry.
+type Event struct {
+	// Seq increases by one per recorded event, across drops: a gap-free
+	// Seq range proves no event was lost between two reads.
+	Seq uint64 `json:"seq"`
+	// Wall is the wall-clock timestamp; Mono is the monotonic offset from
+	// journal creation, immune to wall-clock steps during multi-week runs.
+	Wall time.Time     `json:"wall"`
+	Mono time.Duration `json:"mono"`
+	Kind string        `json:"kind"`
+	Msg  string        `json:"msg"`
+}
+
+// Journal is a bounded in-memory ring of structured events: epoch swaps,
+// BGP flaps and reconnects, shedding watermark transitions, checkpoint
+// writes and failures, collector errors. When full, the oldest events are
+// overwritten (and counted), so a misbehaving feed cannot grow the journal
+// without bound. All methods are safe for concurrent use and safe on a nil
+// journal (no-ops), so instrumented code needs no telemetry guards.
+type Journal struct {
+	mu      sync.Mutex
+	start   time.Time // carries the monotonic clock reading
+	ring    []Event
+	head    int // index of the oldest event
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultJournalCapacity bounds a journal built by NewJournal(0).
+const DefaultJournalCapacity = 1024
+
+// NewJournal returns an empty journal holding up to capacity events
+// (DefaultJournalCapacity when <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{start: time.Now(), ring: make([]Event, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (j *Journal) Record(kind, msg string) {
+	if j == nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e := Event{Seq: j.seq, Wall: now, Mono: now.Sub(j.start), Kind: kind, Msg: msg}
+	if j.n == len(j.ring) {
+		j.ring[j.head] = e
+		j.head = (j.head + 1) % len(j.ring)
+		j.dropped++
+		return
+	}
+	j.ring[(j.head+j.n)%len(j.ring)] = e
+	j.n++
+}
+
+// Recordf is Record with fmt formatting.
+func (j *Journal) Recordf(kind, format string, args ...any) {
+	if j == nil {
+		return
+	}
+	j.Record(kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.ring[(j.head+i)%len(j.ring)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped returns how many events were evicted to make room.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Summary renders an operator-facing digest: per-kind totals over the
+// retained window plus the trailing `tail` events. The cmd tools print it
+// on shutdown so an interrupted run still tells its story.
+func (j *Journal) Summary(tail int) string {
+	if j == nil {
+		return "journal: disabled"
+	}
+	events := j.Events()
+	dropped := j.Dropped()
+	if len(events) == 0 {
+		return "journal: no events recorded"
+	}
+	byKind := map[string]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal: %d events retained", len(events))
+	if dropped > 0 {
+		fmt.Fprintf(&b, " (%d older dropped)", dropped)
+	}
+	b.WriteString("\n  by kind:")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, byKind[k])
+	}
+	if tail > 0 {
+		if tail > len(events) {
+			tail = len(events)
+		}
+		fmt.Fprintf(&b, "\n  last %d:", tail)
+		for _, e := range events[len(events)-tail:] {
+			fmt.Fprintf(&b, "\n    [%8.3fs] %-16s %s", e.Mono.Seconds(), e.Kind, e.Msg)
+		}
+	}
+	return b.String()
+}

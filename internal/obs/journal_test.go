@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalRingOverwrite(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Recordf("tick", "event %d", i)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("len: got %d, want 4", j.Len())
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("dropped: got %d, want 2", j.Dropped())
+	}
+	events := j.Events()
+	// Oldest first, with a gap-free Seq range proving which were evicted.
+	if events[0].Msg != "event 2" || events[3].Msg != "event 5" {
+		t.Fatalf("retained window: %+v", events)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("seq[%d]: got %d, want %d", i, e.Seq, i+3)
+		}
+		if e.Mono < 0 {
+			t.Fatalf("negative monotonic offset: %v", e.Mono)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record("kind", "msg") // must not panic
+	j.Recordf("kind", "%d", 1)
+	if j.Len() != 0 || j.Dropped() != 0 || j.Events() != nil {
+		t.Fatal("nil journal must report empty")
+	}
+	if got := j.Summary(5); got != "journal: disabled" {
+		t.Fatalf("nil summary: %q", got)
+	}
+}
+
+func TestJournalSummary(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(EventEpochSwap, "promoted epoch 1")
+	j.Record(EventBGPFlap, "session lost")
+	j.Record(EventEpochSwap, "promoted epoch 2")
+	s := j.Summary(2)
+	for _, want := range []string{
+		"3 events retained",
+		"bgp-flap=1 epoch-swap=2",
+		"last 2:",
+		"promoted epoch 2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "promoted epoch 1") {
+		t.Fatalf("tail of 2 must omit the first event:\n%s", s)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Record("tick", "x")
+				j.Events()
+				j.Summary(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Dropped() + uint64(j.Len()); got != 800 {
+		t.Fatalf("retained+dropped: got %d, want 800", got)
+	}
+}
+
+func TestTelemetryHealthDefaults(t *testing.T) {
+	tel := NewTelemetry()
+	if h := tel.Health(); !h.Ready || h.Status != "ok" {
+		t.Fatalf("default health: %+v", h)
+	}
+	tel.SetHealth(func() Health {
+		return Health{Ready: false, Status: "unready", Detail: "warming up"}
+	})
+	if h := tel.Health(); h.Ready || h.Status != "unready" {
+		t.Fatalf("installed health source ignored: %+v", h)
+	}
+	var nilTel *Telemetry
+	if h := nilTel.Health(); !h.Ready {
+		t.Fatalf("nil telemetry must default ready: %+v", h)
+	}
+	nilTel.Record("kind", "msg") // must not panic
+}

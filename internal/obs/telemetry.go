@@ -1,0 +1,71 @@
+package obs
+
+import "sync/atomic"
+
+// Health is a readiness verdict, the /healthz payload.
+type Health struct {
+	// Ready reports whether the component can do useful work right now —
+	// for the live runtime, whether a first routing-state epoch has been
+	// promoted. Load balancers and orchestrators gate on this.
+	Ready bool `json:"ready"`
+	// Status is "ok", "degraded" (serving, but verdicts are marked stale)
+	// or "unready".
+	Status string `json:"status"`
+	// Detail is a human-readable explanation of a non-ok status.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Telemetry bundles the three observability primitives a component is
+// wired with: the metric registry, the event journal, and a health source.
+// One Telemetry typically serves one process, shared by the runtime, its
+// BGP feed and its collectors, and exposed by one Server.
+type Telemetry struct {
+	Metrics *Registry
+	Journal *Journal
+
+	health atomic.Pointer[func() Health]
+}
+
+// NewTelemetry builds a Telemetry with an empty registry and a
+// default-capacity journal.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Journal: NewJournal(0)}
+}
+
+// SetHealth installs the readiness source (typically the live runtime's;
+// the last caller wins). A nil receiver is a no-op.
+func (t *Telemetry) SetHealth(fn func() Health) {
+	if t == nil {
+		return
+	}
+	t.health.Store(&fn)
+}
+
+// Health evaluates the installed readiness source. Without one — or on a
+// nil receiver — it reports ready/ok, so a metrics-only process is not
+// spuriously unready.
+func (t *Telemetry) Health() Health {
+	if t == nil {
+		return Health{Ready: true, Status: "ok"}
+	}
+	if fn := t.health.Load(); fn != nil {
+		return (*fn)()
+	}
+	return Health{Ready: true, Status: "ok"}
+}
+
+// Record forwards to the journal; safe on a nil Telemetry.
+func (t *Telemetry) Record(kind, msg string) {
+	if t == nil {
+		return
+	}
+	t.Journal.Record(kind, msg)
+}
+
+// Recordf forwards to the journal with formatting; safe on a nil Telemetry.
+func (t *Telemetry) Recordf(kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Journal.Recordf(kind, format, args...)
+}

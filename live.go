@@ -64,6 +64,11 @@ type LiveRuntimeConfig struct {
 	// Resume restores a prior run's checkpoint; the flow source must be
 	// re-fed from index Resume.Ingested onward.
 	Resume *Checkpoint
+	// Telemetry, when non-nil, registers the runtime's health metrics with
+	// its registry, wires its event journal through the queue, checkpoint,
+	// and swap paths, and installs the runtime's /healthz readiness source.
+	// One runtime per Telemetry: metric names would collide otherwise.
+	Telemetry *Telemetry
 }
 
 // LiveRuntime is the continuous classification engine: collectors push
@@ -74,6 +79,7 @@ type LiveRuntime struct {
 	rt      *core.Runtime
 	members []Member
 	opts    ClassifierOptions
+	tel     *Telemetry
 }
 
 // NewLiveRuntime builds the runtime.
@@ -89,12 +95,16 @@ func NewLiveRuntime(cfg LiveRuntimeConfig) (*LiveRuntime, error) {
 		CheckpointPath:  cfg.CheckpointPath,
 		CheckpointEvery: cfg.CheckpointEvery,
 		Resume:          cfg.Resume,
+		Telemetry:       cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &LiveRuntime{rt: rt, members: cfg.Members, opts: cfg.Options}, nil
+	return &LiveRuntime{rt: rt, members: cfg.Members, opts: cfg.Options, tel: cfg.Telemetry}, nil
 }
+
+// Telemetry returns the bundle the runtime was built with (nil if none).
+func (lr *LiveRuntime) Telemetry() *Telemetry { return lr.tel }
 
 // Ingest offers one flow; false reports it was shed or the runtime closed.
 // Collectors plug in directly: `col.Serve(deadline, func(f Flow) { lr.Ingest(f) })`.
@@ -178,6 +188,9 @@ func (lr *LiveRuntime) ServeBGP(cfg BGPFeedConfig) error {
 	rcfg := cfg.Reconnect
 	rcfg.Addr = cfg.Addr
 	rcfg.Session = cfg.Session
+	if rcfg.Telemetry == nil {
+		rcfg.Telemetry = lr.tel
+	}
 	epochs := 0
 	var rebuildErr error
 	feed := bgp.NewFeed(bgp.FeedConfig{
