@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify obs-smoke fuzz bench bench-smoke
+.PHONY: build test vet race verify closure-prop obs-smoke fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the CI entry point: static checks, the race-checked suite, and
-# the observability smoke.
-verify: vet race obs-smoke
+# verify is the CI entry point: static checks, the race-checked suite, the
+# parallel-compilation equivalence property, and the observability smoke.
+verify: vet race closure-prop obs-smoke
+
+# closure-prop runs the parallel-closure property tests explicitly (random
+# cyclic topologies: ConeClosures at 1/2/4/8 workers must match the
+# sequential constructors element-for-element). They are in the race suite
+# too; the dedicated target keeps the equivalence gate visible in CI logs.
+closure-prop:
+	$(GO) test -race -run 'TestConeClosures' -count=1 ./internal/astopo
 
 # obs-smoke drives a live parallel run with telemetry enabled and asserts the
 # /metrics scrape matches the Aggregator exactly and /healthz walks
@@ -28,18 +35,23 @@ obs-smoke:
 	$(GO) test -race -run TestObsSmoke -count=1 .
 
 # bench measures live-runtime consumption throughput (sequential Step loop
-# vs the batch-parallel consumer at 1/2/4/8 workers) and records the
-# machine-readable baseline in BENCH_runtime.json. The document carries the
-# recording host's CPU count, so single-core baselines are self-describing.
+# vs the batch-parallel consumer at 1/2/4/8 workers) plus pipeline
+# compilation latency (cold at 1/2/4/8 build workers and incremental, at
+# paper and ~50K-AS full-table scale) and records the machine-readable
+# baseline in BENCH_runtime.json. The document carries the recording host's
+# CPU count, so single-core baselines are self-describing.
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . \
+	( $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_runtime.json
 	cat BENCH_runtime.json
 
-# bench-smoke compiles and runs the throughput benchmark once — the CI guard
-# that keeps the benchmark suite executable without paying measurement time.
+# bench-smoke compiles and runs both benchmarks once — the CI guard that
+# keeps the benchmark suite executable without paying measurement time. The
+# build benchmark runs at its reduced smoke scale.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x .
+	SPOOFSCOPE_BENCH_SMOKE=1 $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x .
 
 # fuzz gives the stream-framing paths a short adversarial workout beyond the
 # seeded corpus that runs in `make test`.

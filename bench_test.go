@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/netx"
 	"spoofscope/internal/obs"
+	"spoofscope/internal/scenario"
 )
 
 // The benchmark environment is the default-scale simulation (≈1.5K ASes,
@@ -258,21 +260,110 @@ func BenchmarkEnrichment(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineBuild measures compiling the classifier from the RIB
-// (graph + inference + cones + member sets).
-func BenchmarkPipelineBuild(b *testing.B) {
-	env := benchEnvironment(b)
-	var members []core.MemberInfo
-	for _, m := range env.Scenario.Members {
-		members = append(members, core.MemberInfo{ASN: m.ASN, Port: m.Port})
+// buildBenchScale is one pipeline-compilation workload: the raw inputs
+// NewPipeline consumes, ready to compile repeatedly.
+type buildBenchScale struct {
+	name    string
+	rib     *bgp.RIB
+	members []core.MemberInfo
+	opts    core.Options
+}
+
+// buildBenchScales prepares the two compilation workloads: the paper-scale
+// simulation (~6.4K ASes with orgs and realistic policy structure) and the
+// synthetic full-table view (~50K ASes, a few hundred thousand
+// announcements — cmd/ixpgen -scale full50k). SPOOFSCOPE_BENCH_SMOKE=1
+// substitutes much smaller variants so CI smoke runs stay cheap.
+func buildBenchScales(b *testing.B) []buildBenchScale {
+	b.Helper()
+	smoke := os.Getenv("SPOOFSCOPE_BENCH_SMOKE") != ""
+
+	scfg := scenario.PaperScaleConfig()
+	synth := scenario.FullTableConfig()
+	if smoke {
+		scfg = scenario.SmallConfig()
+		synth.NumTransit = 500
+		synth.NumStub = 7000
 	}
-	orgs := env.Scenario.Orgs().MultiASGroups()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.NewPipeline(env.RIB, members, core.Options{Orgs: orgs}); err != nil {
-			b.Fatal(err)
+	s, err := scenario.Build(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// RIB straight from the announcement set: the MRT round trip is
+	// BenchmarkMRTLoad's subject, not this one's.
+	paperRIB := bgp.NewRIB()
+	for _, a := range s.Anns {
+		paperRIB.AddAnnouncement(a.Prefix, a.Path)
+	}
+	var paperMembers []core.MemberInfo
+	for _, m := range s.Members {
+		paperMembers = append(paperMembers, core.MemberInfo{ASN: m.ASN, Port: m.Port})
+	}
+
+	st, err := scenario.SynthesizeTable(synth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	synthMembers := make([]core.MemberInfo, len(st.MemberASNs))
+	for i, asn := range st.MemberASNs {
+		synthMembers[i] = core.MemberInfo{ASN: asn, Port: uint32(i + 1)}
+	}
+	return []buildBenchScale{
+		{name: "paper", rib: paperRIB, members: paperMembers,
+			opts: core.Options{Orgs: s.Orgs().MultiASGroups()}},
+		{name: "full50k", rib: st.RIB(), members: synthMembers, opts: core.Options{}},
+	}
+}
+
+// BenchmarkPipelineBuild measures compiling the classifier from the RIB
+// (graph + inference + cones + indexes + member sets): cold builds at
+// 1/2/4/8 compilation workers and the incremental rebuild against an
+// unchanged snapshot (the steady-state epoch promotion of a live feed).
+// Worker counts clamp to GOMAXPROCS, so a 1-CPU baseline reports every
+// cold-wN variant at sequential speed — the `cpu:` line in the benchmark
+// output (and the cpus field in BENCH_runtime.json) says which case a
+// recorded baseline describes. The ases metric self-describes the scale.
+func BenchmarkPipelineBuild(b *testing.B) {
+	for _, sc := range buildBenchScales(b) {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/cold-w%d", sc.name, workers), func(b *testing.B) {
+				opts := sc.opts
+				opts.BuildWorkers = workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				var stats core.BuildStats
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, stats, err = core.RebuildPipeline(nil, sc.rib, sc.members, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(stats.ASes), "ases")
+			})
 		}
+		b.Run(sc.name+"/incremental", func(b *testing.B) {
+			opts := sc.opts
+			opts.BuildWorkers = 1
+			prev, _, err := core.RebuildPipeline(nil, sc.rib, sc.members, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var stats core.BuildStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = core.RebuildPipeline(prev, sc.rib, sc.members, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if stats.Reuse != core.BuildReusedPipeline {
+				b.Fatalf("incremental rebuild reuse = %s, want reused-pipeline", stats.Reuse)
+			}
+			b.ReportMetric(float64(stats.ASes), "ases")
+		})
 	}
 }
 

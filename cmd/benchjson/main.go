@@ -1,7 +1,7 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // machine-readable JSON document on stdout, so benchmark baselines can be
-// committed and diffed (`make bench` pipes the runtime-throughput benchmark
-// through it into BENCH_runtime.json).
+// committed and diffed (`make bench` pipes the runtime-throughput and
+// pipeline-build benchmarks through it into BENCH_runtime.json).
 //
 //	go test -run='^$' -bench=BenchmarkRuntimeThroughput . | benchjson > BENCH_runtime.json
 //
@@ -39,6 +39,21 @@ type latencySummary struct {
 	P99ns     float64 `json:"classifyP99ns"`
 }
 
+// buildSummary surfaces the pipeline-compilation benchmark
+// (BenchmarkPipelineBuild/<scale>/<variant>) as a first-class section: one
+// entry per scale/variant with the build latency in seconds and the table
+// size (ases custom metric), so the committed baseline tracks epoch-rebuild
+// cost alongside classification throughput. The header's numCPU/goMaxProcs
+// qualify the cold-wN variants: on a single-core recorder every worker count
+// clamps to sequential.
+type buildSummary struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     string  `json:"scale"`
+	Variant   string  `json:"variant"`
+	Seconds   float64 `json:"seconds"`
+	ASes      float64 `json:"ases,omitempty"`
+}
+
 type document struct {
 	GeneratedAt time.Time         `json:"generatedAt"`
 	GoVersion   string            `json:"goVersion"`
@@ -47,6 +62,7 @@ type document struct {
 	Env         map[string]string `json:"env,omitempty"`
 	Benchmarks  []benchmark       `json:"benchmarks"`
 	Latency     []latencySummary  `json:"latency,omitempty"`
+	Build       []buildSummary    `json:"build,omitempty"`
 }
 
 func main() {
@@ -86,12 +102,41 @@ func main() {
 				Benchmark: b.Name, P50ns: p50, P99ns: p99,
 			})
 		}
+		if bs, ok := parseBuildEntry(b); ok {
+			doc.Build = append(doc.Build, bs)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseBuildEntry lifts one BenchmarkPipelineBuild/<scale>/<variant> entry
+// into a buildSummary. The trailing -P GOMAXPROCS suffix Go appends to the
+// variant is stripped; latency comes from ns/op.
+func parseBuildEntry(b benchmark) (buildSummary, bool) {
+	rest, ok := strings.CutPrefix(b.Name, "BenchmarkPipelineBuild/")
+	if !ok {
+		return buildSummary{}, false
+	}
+	scale, variant, ok := strings.Cut(rest, "/")
+	if !ok {
+		return buildSummary{}, false
+	}
+	if i := strings.LastIndex(variant, "-"); i >= 0 {
+		if _, err := strconv.Atoi(variant[i+1:]); err == nil {
+			variant = variant[:i]
+		}
+	}
+	return buildSummary{
+		Benchmark: b.Name,
+		Scale:     scale,
+		Variant:   variant,
+		Seconds:   b.Metrics["ns/op"] / 1e9,
+		ASes:      b.Metrics["ases"],
+	}, true
 }
 
 // parseBenchLine parses one "BenchmarkName-P  N  v unit  v unit..." line.

@@ -67,6 +67,7 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "crash-safe checkpoint file: resume from it if present, snapshot to it periodically")
 		ckptN    = flag.Uint64("checkpoint-every", 100000, "flows between checkpoint snapshots (with -checkpoint)")
 		workersN = flag.Int("workers", 0, "parallel classification workers (0 = single-threaded pass)")
+		buildW   = flag.Int("build-workers", 0, "pipeline compilation workers (0 = GOMAXPROCS, 1 = sequential build)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address during the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -131,14 +132,20 @@ func main() {
 		}
 	}
 
-	pipeline, err := core.NewPipeline(rib, members, core.Options{
+	// RebuildPipeline with a nil predecessor is a cold NewPipeline that also
+	// reports BuildStats, so the initial compile shows up in the journal and
+	// the build-duration gauge exactly like later rebuilds would.
+	pipeline, bstats, err := core.RebuildPipeline(nil, rib, members, core.Options{
 		Orgs:            orgGroups,
 		Routers:         routers,
 		DisableOrgMerge: *noOrgs,
+		BuildWorkers:    *buildW,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("pipeline: %s build in %s (%d workers, %d ASes)",
+		bstats.Reuse, bstats.Duration.Round(time.Millisecond), bstats.Workers, bstats.ASes)
 
 	if *aclFor != 0 {
 		acl, err := pipeline.FilterList(bgp.ASN(*aclFor), core.ApproachFull)
@@ -176,7 +183,7 @@ func main() {
 	}
 	defer flows.Close()
 	fr := ipfix.NewFileReader(flows)
-	agg, n := classifyRun(ctx, fr, pipeline, *workersN, *aggTO, *ckptPath, *ckptN, tel)
+	agg, n := classifyRun(ctx, fr, pipeline, bstats, *workersN, *aggTO, *ckptPath, *ckptN, tel)
 	for _, m := range members {
 		agg.SetMemberASN(m.Port, m.ASN)
 	}
@@ -217,7 +224,7 @@ func main() {
 // final aggregate is identical across worker counts. A cancelled ctx
 // (SIGINT/SIGTERM) closes intake, drains the queue, and returns the partial
 // aggregate instead of failing.
-func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipeline, workers int, aggTO time.Duration, ckptPath string, ckptN uint64, tel *obs.Telemetry) (*core.Aggregator, int) {
+func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipeline, bstats core.BuildStats, workers int, aggTO time.Duration, ckptPath string, ckptN uint64, tel *obs.Telemetry) (*core.Aggregator, int) {
 	rtc := core.RuntimeConfig{
 		Pipeline: pipeline,
 		Start:    time.Unix(0, 0).UTC(), Bucket: 1 << 62, // single bucket
@@ -240,6 +247,10 @@ func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipel
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Surface the initial compile through the runtime's build telemetry
+	// (journal event, duration histogram + last-build gauge, builds counter)
+	// so operators see it alongside any later epoch rebuilds.
+	rt.RecordBuild(bstats)
 	feedErr := make(chan error, 1)
 	go func() {
 		defer rt.Close() // drained consumers exit once the queue empties

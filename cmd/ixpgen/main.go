@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	ixpgen -out data/ [-scale small|default|paper] [-seed N]
+//	ixpgen -out data/ [-scale small|default|paper|full50k] [-seed N]
+//
+// The full50k scale is different in kind: it skips the traffic simulation
+// and emits only routing.mrt and members.csv from the fast synthetic
+// full-table generator (~50K ASes, a few hundred thousand announcements) —
+// the input for pipeline-build benchmarking, not for classification
+// experiments.
 package main
 
 import (
@@ -30,10 +36,15 @@ func main() {
 	log.SetPrefix("ixpgen: ")
 	var (
 		out   = flag.String("out", "ixp-data", "output directory")
-		scale = flag.String("scale", "default", "scenario scale: small, default, or paper")
+		scale = flag.String("scale", "default", "scenario scale: small, default, paper, or full50k (routing table only)")
 		seed  = flag.Int64("seed", 1, "deterministic seed")
 	)
 	flag.Parse()
+
+	if *scale == "full50k" {
+		writeSynthTable(*out, *seed)
+		return
+	}
 
 	opts := experiments.DefaultOptions()
 	switch *scale {
@@ -43,7 +54,7 @@ func main() {
 	case "paper":
 		opts.Scenario = scenario.PaperScaleConfig()
 	default:
-		log.Fatalf("unknown scale %q (want small, default, or paper)", *scale)
+		log.Fatalf("unknown scale %q (want small, default, paper, or full50k)", *scale)
 	}
 	opts.Scenario.Seed = *seed
 
@@ -136,4 +147,60 @@ func main() {
 	}
 	log.Printf("done: %d flows (%d ground-truth spoofed), %d members, %d announcements",
 		len(env.Flows), spoofed, len(env.Scenario.Members), len(env.Scenario.Anns))
+}
+
+// writeSynthTable emits the full50k scale: a full-table-sized MRT view and
+// a member sample, nothing else (no traffic, no ground truth).
+func writeSynthTable(out string, seed int64) {
+	cfg := scenario.FullTableConfig()
+	cfg.Seed = seed
+	log.Printf("synthesizing full-table view (seed %d)...", seed)
+	st, err := scenario.SynthesizeTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(out, "routing.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.WriteMRT(f); err != nil {
+		f.Close()
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	stat, _ := os.Stat(path)
+	log.Printf("wrote %s (%d bytes)", path, stat.Size())
+
+	path = filepath.Join(out, "members.csv")
+	f, err = os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"port", "asn", "type"}); err != nil {
+		log.Fatal(err)
+	}
+	for i, asn := range st.MemberASNs {
+		if err := w.Write([]string{
+			strconv.Itoa(i + 1),
+			strconv.FormatUint(uint64(asn), 10),
+			"synth",
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d ASes, %d announcements, %d members", st.NumASes, len(st.Anns), len(st.MemberASNs))
 }

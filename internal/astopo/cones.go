@@ -44,30 +44,11 @@ type Closure struct {
 }
 
 // newClosure computes the transitive closure of adj (indexed like g).
+// Component ids are in reverse topological order: every edge goes from a
+// higher id to a lower id, so processing 0..n-1 sees successors first.
 func newClosure(g *Graph, adj [][]int32) *Closure {
 	comp, n := tarjanSCC(adj)
-	cond := condense(adj, comp, n)
-	c := &Closure{g: g, comp: comp, nComp: n}
-	c.cmemb = make([]int, n)
-	for _, ci := range comp {
-		c.cmemb[ci]++
-	}
-	c.reach = make([]*netx.Bitset, n)
-	c.size = make([]int, n)
-	// Component ids are in reverse topological order: every edge goes from a
-	// higher id to a lower id, so processing 0..n-1 sees successors first.
-	for ci := 0; ci < n; ci++ {
-		b := netx.NewBitset(n)
-		b.Set(ci)
-		for _, sc := range cond[ci] {
-			b.Or(c.reach[sc])
-		}
-		c.reach[ci] = b
-		total := 0
-		b.ForEach(func(i int) { total += c.cmemb[i] })
-		c.size[ci] = total
-	}
-	return c
+	return closureFrom(g, comp, n, condense(adj, comp, n), 1)
 }
 
 // Contains reports whether the AS at dense index origin is inside the cone
@@ -306,11 +287,7 @@ func (n *NaiveIndex) NumPrefixes(u int) int { return len(n.prefixes[u]) }
 
 // ValidLPM compiles AS u's valid space into an LPM for per-flow checks.
 func (n *NaiveIndex) ValidLPM(u int) *netx.LPM {
-	tr := netx.NewTrie()
-	for _, p := range n.prefixes[u] {
-		tr.Insert(p, 1)
-	}
-	return tr.Freeze()
+	return netx.BuildLPM(n.prefixes[u], nil)
 }
 
 // Sizes returns, indexed by AS index, the /24-equivalent size of each AS's

@@ -171,11 +171,10 @@ func (r *RIB) RoutedSpace() netx.IntervalSet {
 	return netx.IntervalSetOfPrefixes(r.Prefixes()...)
 }
 
-// OriginTable builds a longest-prefix-match table mapping addresses to the
-// origin AS of the most specific covering routed prefix. When a prefix was
-// announced by several origins over the window (MOAS), the origin seen most
-// often across distinct paths wins.
-func (r *RIB) OriginTable() *netx.LPM {
+// OriginAssignments returns the MOAS-resolved prefix→origin assignment of
+// OriginTable as parallel slices sorted by prefix — the shape bulk LPM
+// construction (netx.BuildLPM) consumes directly.
+func (r *RIB) OriginAssignments() ([]netx.Prefix, []ASN) {
 	// Count per-prefix origin popularity over distinct announcements.
 	type key struct {
 		p netx.Prefix
@@ -194,9 +193,27 @@ func (r *RIB) OriginTable() *netx.LPM {
 			best[k.p] = k.o
 		}
 	}
-	tr := netx.NewTrie()
-	for p, o := range best {
-		tr.Insert(p, uint32(o))
+	ps := make([]netx.Prefix, 0, len(best))
+	for p := range best {
+		ps = append(ps, p)
 	}
-	return tr.Freeze()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+	origins := make([]ASN, len(ps))
+	for i, p := range ps {
+		origins[i] = best[p]
+	}
+	return ps, origins
+}
+
+// OriginTable builds a longest-prefix-match table mapping addresses to the
+// origin AS of the most specific covering routed prefix. When a prefix was
+// announced by several origins over the window (MOAS), the origin seen most
+// often across distinct paths wins.
+func (r *RIB) OriginTable() *netx.LPM {
+	ps, origins := r.OriginAssignments()
+	vals := make([]uint32, len(origins))
+	for i, o := range origins {
+		vals[i] = uint32(o)
+	}
+	return netx.BuildLPM(ps, vals)
 }

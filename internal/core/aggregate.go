@@ -153,6 +153,38 @@ func NewAggregator(start time.Time, bucket time.Duration) *Aggregator {
 	return a
 }
 
+// Reset clears the aggregate back to empty while keeping its allocated
+// containers (maps, series backing arrays, /8 bins), so a parallel worker
+// can reuse one private Aggregator across merge barriers instead of
+// allocating a fresh one per epoch swap or idle edge. start and bucket are
+// preserved. Safe only on an aggregator the caller exclusively owns —
+// i.e. after Merge has folded it into the canonical aggregate (Merge never
+// retains references into its argument).
+func (a *Aggregator) Reset() {
+	a.GrandTotal = Counter{}
+	a.Total = [numTrafficClasses]Counter{}
+	a.UnknownPorts = 0
+	// Top-level keys are cleared, not emptied in place: key presence is
+	// semantic in the canonical encoding (a sequential run never creates an
+	// empty Series/SizeHist/Slash8 entry), so a reused aggregator must not
+	// leak present-but-empty keys into the canonical aggregate via Merge.
+	// clear() keeps the map buckets, which is where the reuse win lives.
+	clear(a.members)
+	clear(a.Series)
+	clear(a.SizeHist)
+	clear(a.Ports)
+	clear(a.Slash8Src)
+	clear(a.Slash8Dst)
+	for _, m := range a.FanIn {
+		clear(m)
+	}
+	clear(a.TriggerPairs)
+	clear(a.ResponsePairs)
+	a.TriggerSeries = a.TriggerSeries[:0]
+	a.ResponseSeries = a.ResponseSeries[:0]
+	a.lastPort, a.lastMember = 0, nil
+}
+
 // classesOf maps a verdict to the aggregate classes it contributes to.
 func classesOf(v Verdict) []TrafficClass {
 	switch v.Class {

@@ -1,0 +1,391 @@
+// Pipeline compilation: the parallel cold-build path and the fingerprint-
+// gated incremental rebuild used by the live runtime's epoch swaps. The
+// classify hot path runs in ~200ns/flow, so at full-table scale the build —
+// graph, relationship inference, two cone closures, naive index, LPM tries
+// — is what keeps a runtime degraded after a routing flap. Compilation
+// here is staged: topology layers (graph + closures) depend only on the AS
+// path multiset; prefix layers (naive index, origin table, routed space)
+// depend on the full announcement set; member tables derive from both. The
+// RIB fingerprint (bgp.Fingerprint) tells which stages a fresh snapshot
+// actually invalidates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"spoofscope/internal/astopo"
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/bogon"
+	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
+)
+
+// BuildReuse states how much of the previous epoch's pipeline a rebuild
+// reused, from nothing to everything.
+type BuildReuse int
+
+const (
+	// BuildCold compiled every layer from the RIB.
+	BuildCold BuildReuse = iota
+	// BuildReusedClosures reused the graph and both cone closures (the AS
+	// path multiset was unchanged) and rebuilt only the prefix-dependent
+	// layers: naive index, origin table, routed space, member LPMs.
+	BuildReusedClosures
+	// BuildReusedPipeline reused every layer (the announcement set was
+	// unchanged); only the member tables were re-wrapped.
+	BuildReusedPipeline
+	numBuildReuse
+)
+
+func (r BuildReuse) String() string {
+	switch r {
+	case BuildCold:
+		return "cold"
+	case BuildReusedClosures:
+		return "reused-closures"
+	case BuildReusedPipeline:
+		return "reused-pipeline"
+	default:
+		return "?"
+	}
+}
+
+// BuildStats describes one pipeline compilation.
+type BuildStats struct {
+	Reuse    BuildReuse
+	Workers  int // effective worker count (after the GOMAXPROCS clamp)
+	Duration time.Duration
+	ASes     int
+	Prefixes int
+	Members  int
+}
+
+// buildWorkers resolves Options.BuildWorkers: <= 0 means GOMAXPROCS, and
+// explicit requests clamp to GOMAXPROCS — more build goroutines than
+// schedulable threads only adds contention on the level barriers.
+func buildWorkers(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > max {
+		return max
+	}
+	return requested
+}
+
+// topologyKey digests every option that feeds the graph, the closures, or
+// the per-member cone bitsets. Two compilations may share those layers only
+// when their keys match (the RIB fingerprint gates the rest).
+func (o Options) topologyKey() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		const prime = 1099511628211
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (v >> s & 0xff)) * prime
+		}
+	}
+	if o.DisableOrgMerge {
+		mix(1)
+	}
+	mix(math.Float64bits(o.PeerDegreeRatio))
+	mix(uint64(o.FullConeDepth))
+	for _, org := range o.Orgs {
+		mix(uint64(len(org)))
+		for _, as := range org {
+			mix(uint64(as))
+		}
+	}
+	for _, l := range o.ExtraLinks {
+		mix(uint64(l[0])<<32 | uint64(l[1]))
+	}
+	return h
+}
+
+// RebuildPipeline compiles a classifier from a RIB snapshot, reusing layers
+// of prev (the previous epoch's pipeline, may be nil) that the snapshot's
+// fingerprint proves unchanged:
+//
+//   - unchanged announcement set  → reuse everything; re-wrap member tables
+//   - unchanged AS path multiset  → reuse graph + closures; rebuild the
+//     prefix-dependent layers (naive index, origin table, routed space)
+//   - otherwise                   → cold build
+//
+// Reuse is forbidden whenever the topology-shaping options differ (org
+// groups, extra links, peer-degree ratio, full-cone depth, org-merge
+// toggle): the fingerprint only covers the RIB, so an option change
+// invalidates the shared layers regardless of the snapshot. §4.4 AllowSource
+// whitelists are never carried over — they are manual per-epoch corrections,
+// exactly as a cold rebuild would drop them.
+func RebuildPipeline(prev *Pipeline, rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, BuildStats, error) {
+	return compilePipeline(prev, rib, members, opts)
+}
+
+func compilePipeline(prev *Pipeline, rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, BuildStats, error) {
+	t0 := time.Now()
+	stats := BuildStats{Reuse: BuildCold, Workers: buildWorkers(opts.BuildWorkers)}
+	if len(members) == 0 {
+		return nil, stats, fmt.Errorf("core: no members")
+	}
+	anns := rib.Announcements()
+	if len(anns) == 0 {
+		return nil, stats, fmt.Errorf("core: RIB is empty")
+	}
+	bogons := opts.Bogons
+	if bogons == nil {
+		bogons = bogon.NewReferenceSet()
+	}
+	workers := stats.Workers
+
+	fp := rib.Fingerprint()
+	key := opts.topologyKey()
+	if prev != nil && prev.optsKey == key && prev.fp.Paths == fp.Paths {
+		if prev.fp.Anns == fp.Anns {
+			stats.Reuse = BuildReusedPipeline
+		} else {
+			stats.Reuse = BuildReusedClosures
+		}
+	}
+
+	p := &Pipeline{
+		bogons:  bogons,
+		anns:    anns,
+		routers: opts.Routers,
+		fp:      fp,
+		optsKey: key,
+	}
+
+	switch stats.Reuse {
+	case BuildReusedPipeline:
+		p.graph, p.full, p.cc, p.naive = prev.graph, prev.full, prev.cc, prev.naive
+		p.origins, p.originTab = prev.origins, prev.originTab
+		p.routedSpace = prev.routedSpace
+
+	case BuildReusedClosures:
+		p.graph, p.full, p.cc = prev.graph, prev.full, prev.cc
+		buildConcurrently(workers > 1,
+			func() { p.naive = astopo.NewNaiveIndex(p.graph, anns) },
+			func() { p.origins, p.originTab = buildOriginIndex(rib, p.graph) },
+			func() { p.routedSpace = rib.RoutedSpace() },
+		)
+
+	default:
+		graph := astopo.NewGraph(anns)
+		orgMerge := !opts.DisableOrgMerge && len(opts.Orgs) > 0
+		if orgMerge {
+			graph.AddOrgMesh(opts.Orgs)
+		}
+		for _, l := range opts.ExtraLinks {
+			graph.AddLinkASN(l[0], l[1])
+		}
+		graph.InferRelationships(anns, opts.PeerDegreeRatio)
+		p.graph = graph
+		buildConcurrently(workers > 1,
+			func() {
+				if workers > 1 {
+					var orgs [][]bgp.ASN
+					if orgMerge {
+						orgs = opts.Orgs
+					}
+					p.full, p.cc = graph.ConeClosures(orgs, workers)
+					return
+				}
+				// Sequential baseline: the original single-threaded closure
+				// path, byte-for-byte the behavior the parallel one is
+				// property-tested against.
+				p.full = graph.FullConeClosure()
+				if orgMerge {
+					p.cc = graph.CustomerConeWithOrgs(opts.Orgs)
+				} else {
+					p.cc = graph.CustomerConeClosure(false)
+				}
+			},
+			func() { p.naive = astopo.NewNaiveIndex(graph, anns) },
+			func() { p.origins, p.originTab = buildOriginIndex(rib, graph) },
+			func() { p.routedSpace = rib.RoutedSpace() },
+		)
+	}
+
+	var donor *Pipeline
+	if stats.Reuse != BuildCold {
+		donor = prev
+	}
+	p.compileMembers(members, opts, donor, stats.Reuse == BuildReusedPipeline, workers)
+
+	stats.Duration = time.Since(t0)
+	stats.ASes = p.graph.NumASes()
+	stats.Prefixes = rib.NumPrefixes()
+	stats.Members = len(members)
+	return p, stats, nil
+}
+
+// buildConcurrently runs the stage functions in parallel when on, otherwise
+// sequentially in order. Each stage writes a distinct pipeline field, so the
+// WaitGroup is the only synchronization needed.
+func buildConcurrently(on bool, stages ...func()) {
+	if !on {
+		for _, fn := range stages {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range stages {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// buildOriginIndex is the bulk variant of the origin-table re-key: resolve
+// each distinct origin ASN to an originTab slot once, then compile the LPM
+// straight from the sorted (prefix → slot) assignment — no intermediate
+// ASN-keyed trie, no Transform pass.
+func buildOriginIndex(rib *bgp.RIB, graph *astopo.Graph) (*netx.LPM, []originRef) {
+	prefixes, origins := rib.OriginAssignments()
+	slotOf := make(map[bgp.ASN]uint32)
+	vals := make([]uint32, len(prefixes))
+	var tab []originRef
+	for i, o := range origins {
+		s, ok := slotOf[o]
+		if !ok {
+			s = uint32(len(tab))
+			slotOf[o] = s
+			tab = append(tab, originRef{asn: o, idx: int32(graph.Index(o))})
+		}
+		vals[i] = s
+	}
+	return netx.BuildLPM(prefixes, vals), tab
+}
+
+// compileMembers builds the per-member validity tables. donor (non-nil only
+// when this build shares prev's graph and closures) lets a member re-wrap
+// its previous cone bitsets — and, when reuseNaive holds (unchanged
+// announcement set), its naive LPM — instead of rematerializing them. The
+// donor's §4.4 extra whitelists are never carried (fresh epoch, fresh
+// corrections). Members are compiled by a worker pool when workers > 1;
+// each slot is written by exactly one goroutine.
+func (p *Pipeline) compileMembers(members []MemberInfo, opts Options, donor *Pipeline, reuseNaive bool, workers int) {
+	p.byPort = make(map[uint32]*memberState, len(members))
+	p.byASN = make(map[bgp.ASN]*memberState, len(members))
+	maxPort := uint32(0)
+	for _, mi := range members {
+		if mi.Port > maxPort {
+			maxPort = mi.Port
+		}
+	}
+	if maxPort < densePortCap {
+		p.byPortDense = make([]*memberState, maxPort+1)
+	}
+
+	states := make([]*memberState, len(members))
+	build := func(i int) {
+		mi := members[i]
+		ms := &memberState{info: mi, asIdx: p.graph.Index(mi.ASN)}
+		if ms.asIdx >= 0 {
+			var from *memberState
+			if donor != nil {
+				if d := donor.byASN[mi.ASN]; d != nil && d.asIdx == ms.asIdx {
+					from = d
+				}
+			}
+			if from != nil && reuseNaive {
+				ms.naive = from.naive
+			} else {
+				ms.naive = p.naive.ValidLPM(ms.asIdx)
+			}
+			if from != nil {
+				ms.validCC, ms.validFC = from.validCC, from.validFC
+			} else {
+				ms.validCC = p.cc.ValidOriginSet(ms.asIdx)
+				if opts.FullConeDepth > 0 {
+					ms.validFC = p.graph.BoundedCone(ms.asIdx, opts.FullConeDepth)
+				} else {
+					ms.validFC = p.full.ValidOriginSet(ms.asIdx)
+				}
+			}
+		}
+		states[i] = ms
+	}
+	if workers > 1 && len(states) > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					build(i)
+				}
+			}()
+		}
+		for i := range states {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range states {
+			build(i)
+		}
+	}
+
+	// Registration stays sequential and in input order so duplicate ports
+	// or ASNs resolve exactly as the sequential build always has.
+	for i, mi := range members {
+		ms := states[i]
+		p.byPort[mi.Port] = ms
+		if int(mi.Port) < len(p.byPortDense) {
+			p.byPortDense[mi.Port] = ms
+		}
+		p.byASN[mi.ASN] = ms
+	}
+}
+
+// MetricBuildDuration is the pipeline-compilation histogram's name.
+const MetricBuildDuration = "spoofscope_build_duration_seconds"
+
+// RebuildAndSwap compiles the next epoch's pipeline from a fresh RIB
+// snapshot — off the hot path, reusing the current epoch's layers when the
+// snapshot's fingerprint allows — then promotes it and records the build
+// (journal event, duration histogram + gauge, per-mode counter). This is
+// the routing feed's per-snapshot entry point.
+func (rt *Runtime) RebuildAndSwap(rib *bgp.RIB, members []MemberInfo, opts Options) (Epoch, BuildStats, error) {
+	var prev *Pipeline
+	if st := rt.state.Load(); st != nil {
+		prev = st.pipeline
+	}
+	p, stats, err := RebuildPipeline(prev, rib, members, opts)
+	if err != nil {
+		return 0, stats, err
+	}
+	e := rt.Swap(p)
+	rt.RecordBuild(stats)
+	return e, stats, nil
+}
+
+// RecordBuild feeds one compilation's stats into the runtime's telemetry:
+// the build-duration histogram, the last-build gauge, the per-mode build
+// counters, and a journal event. RebuildAndSwap calls it automatically;
+// callers that compile their initial pipeline directly (cmd/classify)
+// call it once by hand so /metrics can explain a slow start too.
+func (rt *Runtime) RecordBuild(stats BuildStats) {
+	rt.lastBuildNs.Store(stats.Duration.Nanoseconds())
+	if stats.Reuse >= 0 && stats.Reuse < numBuildReuse {
+		rt.builds[stats.Reuse].Add(1)
+	}
+	if rt.buildHist != nil {
+		rt.buildHist.Observe(stats.Duration.Seconds())
+	}
+	kind := obs.EventRebuild
+	if stats.Reuse != BuildCold {
+		kind = obs.EventRebuildReused
+	}
+	rt.journal.Recordf(kind, "%s build in %s (%d workers, %d ASes, %d prefixes, %d members)",
+		stats.Reuse, stats.Duration.Round(time.Microsecond), stats.Workers,
+		stats.ASes, stats.Prefixes, stats.Members)
+}

@@ -12,9 +12,10 @@ import (
 // encoding is the equality oracle: two aggregators are equal iff they
 // encode to identical bytes.
 //
-// Merge steals maps from its argument, so every permutation builds fresh
-// shards; the caps (fanInCap, InvalidOrigins) stay unreached, as
-// order-independence only holds below them.
+// Merge deep-adds and never adopts its argument's containers, so a merged
+// shard can be Reset and refilled (the parallel consumers reuse one shard
+// per worker this way); the caps (fanInCap, InvalidOrigins) stay unreached,
+// as order-independence only holds below them.
 
 // mergeShards builds per-shard aggregators over a fixed partition of the
 // checkpoint flow set, classifies with p, and merges them in the given
@@ -79,5 +80,45 @@ func TestMergeEmptyIsIdentity(t *testing.T) {
 	empty.Merge(mergeShards(t, p, []int{0, 1, 2}))
 	if got := encodeAgg(t, &Checkpoint{Agg: empty}); !bytes.Equal(want, got) {
 		t.Fatal("merging into an empty aggregator diverged from the source")
+	}
+}
+
+// TestMergeResetReuse is the contract the parallel consumers rely on: a
+// shard that has been merged, Reset, and refilled behaves exactly like a
+// fresh one — including key-presence in the canonical encoding (a Reset
+// must not leak present-but-empty containers through a later Merge).
+func TestMergeResetReuse(t *testing.T) {
+	p := testPipeline(t, Options{})
+	flows := checkpointFlows()
+
+	// Reference: two fresh shards merged.
+	ref := NewAggregator(cpStart, time.Hour)
+	for _, half := range [][2]int{{0, 3}, {3, len(flows)}} {
+		shard := NewAggregator(cpStart, time.Hour)
+		for _, f := range flows[half[0]:half[1]] {
+			shard.Add(f, p.Classify(f))
+		}
+		ref.Merge(shard)
+	}
+	want := encodeAgg(t, &Checkpoint{Agg: ref})
+
+	// Same flows through ONE shard, merged + Reset between halves.
+	dst := NewAggregator(cpStart, time.Hour)
+	shard := NewAggregator(cpStart, time.Hour)
+	for _, half := range [][2]int{{0, 3}, {3, len(flows)}} {
+		for _, f := range flows[half[0]:half[1]] {
+			shard.Add(f, p.Classify(f))
+		}
+		dst.Merge(shard)
+		shard.Reset()
+	}
+	if got := encodeAgg(t, &Checkpoint{Agg: dst}); !bytes.Equal(want, got) {
+		t.Fatal("reused shard diverged from fresh shards")
+	}
+
+	// A Reset shard merged again must be a no-op (no phantom keys).
+	dst.Merge(shard)
+	if got := encodeAgg(t, &Checkpoint{Agg: dst}); !bytes.Equal(want, got) {
+		t.Fatal("merging a Reset shard changed the state")
 	}
 }

@@ -128,6 +128,12 @@ type Options struct {
 	// import/export policies, looking glasses) into the graph before cone
 	// computation — the paper's future-work proactive enrichment.
 	ExtraLinks [][2]bgp.ASN
+	// BuildWorkers bounds the compilation worker pool: closure bitset
+	// propagation (level-parallel over the SCC condensation), the
+	// independent index stages, and the per-member table builds. <= 0 means
+	// GOMAXPROCS; explicit values clamp to GOMAXPROCS. 1 runs the original
+	// sequential build. The compiled pipeline is identical either way.
+	BuildWorkers int
 }
 
 // memberState is the compiled per-member validity data.
@@ -179,97 +185,20 @@ type Pipeline struct {
 	// by FilterList.
 	anns       []bgp.Announcement
 	spacesOnce []netx.IntervalSet
+
+	// fp and optsKey record what this pipeline was compiled from, so
+	// RebuildPipeline can prove which layers a fresh snapshot leaves valid.
+	fp      bgp.Fingerprint
+	optsKey uint64
 }
 
-// NewPipeline compiles a classifier from a RIB and the member list.
+// NewPipeline compiles a classifier from a RIB and the member list. The
+// graph/closure/index stages and the origin-table re-key run on a worker
+// pool sized by opts.BuildWorkers (see build.go); RebuildPipeline is the
+// incremental variant for epoch rebuilds against a previous pipeline.
 func NewPipeline(rib *bgp.RIB, members []MemberInfo, opts Options) (*Pipeline, error) {
-	if len(members) == 0 {
-		return nil, fmt.Errorf("core: no members")
-	}
-	bogons := opts.Bogons
-	if bogons == nil {
-		bogons = bogon.NewReferenceSet()
-	}
-	anns := rib.Announcements()
-	if len(anns) == 0 {
-		return nil, fmt.Errorf("core: RIB is empty")
-	}
-	graph := astopo.NewGraph(anns)
-	if !opts.DisableOrgMerge && len(opts.Orgs) > 0 {
-		graph.AddOrgMesh(opts.Orgs)
-	}
-	for _, l := range opts.ExtraLinks {
-		graph.AddLinkASN(l[0], l[1])
-	}
-	graph.InferRelationships(anns, opts.PeerDegreeRatio)
-
-	full := graph.FullConeClosure()
-	var cc *astopo.Closure
-	if !opts.DisableOrgMerge && len(opts.Orgs) > 0 {
-		cc = graph.CustomerConeWithOrgs(opts.Orgs)
-	} else {
-		cc = graph.CustomerConeClosure(false)
-	}
-	naive := astopo.NewNaiveIndex(graph, anns)
-
-	p := &Pipeline{
-		bogons:      bogons,
-		anns:        anns,
-		graph:       graph,
-		full:        full,
-		cc:          cc,
-		naive:       naive,
-		routers:     opts.Routers,
-		byPort:      make(map[uint32]*memberState, len(members)),
-		byASN:       make(map[bgp.ASN]*memberState, len(members)),
-		routedSpace: rib.RoutedSpace(),
-	}
-
-	// Re-key the origin table: the RIB maps prefixes to origin ASNs, but
-	// Classify needs the origin's dense graph index per covering prefix.
-	// Resolving ASN→index here, once per distinct origin, removes the
-	// graph.Index map lookup from the classification inner loop.
-	slotOf := make(map[uint32]uint32)
-	p.origins = rib.OriginTable().Transform(func(asn uint32) uint32 {
-		if s, ok := slotOf[asn]; ok {
-			return s
-		}
-		s := uint32(len(p.originTab))
-		slotOf[asn] = s
-		p.originTab = append(p.originTab, originRef{
-			asn: bgp.ASN(asn),
-			idx: int32(graph.Index(bgp.ASN(asn))),
-		})
-		return s
-	})
-
-	maxPort := uint32(0)
-	for _, mi := range members {
-		if mi.Port > maxPort {
-			maxPort = mi.Port
-		}
-	}
-	if maxPort < densePortCap {
-		p.byPortDense = make([]*memberState, maxPort+1)
-	}
-	for _, mi := range members {
-		ms := &memberState{info: mi, asIdx: graph.Index(mi.ASN)}
-		if ms.asIdx >= 0 {
-			ms.naive = naive.ValidLPM(ms.asIdx)
-			ms.validCC = cc.ValidOriginSet(ms.asIdx)
-			if opts.FullConeDepth > 0 {
-				ms.validFC = graph.BoundedCone(ms.asIdx, opts.FullConeDepth)
-			} else {
-				ms.validFC = full.ValidOriginSet(ms.asIdx)
-			}
-		}
-		p.byPort[mi.Port] = ms
-		if int(mi.Port) < len(p.byPortDense) {
-			p.byPortDense[mi.Port] = ms
-		}
-		p.byASN[mi.ASN] = ms
-	}
-	return p, nil
+	p, _, err := compilePipeline(nil, rib, members, opts)
+	return p, err
 }
 
 // member resolves an ingress port to its compiled member state, through

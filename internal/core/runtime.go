@@ -118,6 +118,12 @@ type Runtime struct {
 	tel          *obs.Telemetry
 	journal      *obs.Journal
 	classifyHist *obs.Histogram
+
+	// Build bookkeeping (RecordBuild / RebuildAndSwap): duration of the
+	// most recent compilation, per-reuse-mode counts, and the histogram.
+	lastBuildNs atomic.Int64
+	builds      [numBuildReuse]atomic.Uint64
+	buildHist   *obs.Histogram
 }
 
 // NewRuntime builds a runtime. With cfg.Resume set, the aggregate state and

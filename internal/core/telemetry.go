@@ -109,6 +109,18 @@ func (rt *Runtime) instrument(t *obs.Telemetry) {
 	rt.classifyHist = m.Histogram(MetricClassifyDuration,
 		"Sampled per-flow classification latency (every 64th flow).",
 		obs.LatencyBuckets)
+	rt.buildHist = m.Histogram(MetricBuildDuration,
+		"Pipeline compilation duration per build (initial and rebuilds).",
+		obs.BuildBuckets)
+	m.GaugeFunc("spoofscope_build_last_seconds",
+		"Duration of the most recent pipeline compilation.",
+		func() float64 { return time.Duration(rt.lastBuildNs.Load()).Seconds() })
+	for r := BuildReuse(0); r < numBuildReuse; r++ {
+		r := r
+		m.CounterFunc("spoofscope_builds_total",
+			"Pipeline compilations recorded, by reuse mode.",
+			rt.builds[r].Load, obs.Label{Name: "mode", Value: r.String()})
+	}
 	t.SetHealth(rt.health)
 }
 

@@ -1,0 +1,93 @@
+package netx
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// BuildLPM compiles (prefix, value) pairs straight into an immutable LPM,
+// replacing the insert-then-Freeze path for full-table builds. Prefixes are
+// inserted in sorted (address, length) order so consecutive prefixes share
+// their trie path: the node arena is sized exactly in a pre-pass and each
+// insert resumes from the longest common prefix with its predecessor
+// instead of re-walking from the root. values == nil stores 1 for every
+// prefix (membership-only tables). Duplicate prefixes keep the value that
+// appears last in the input, matching repeated Trie.Insert.
+func BuildLPM(prefixes []Prefix, values []uint32) *LPM {
+	if len(prefixes) == 0 {
+		return &LPM{nodes: make([]trieNode, 1)}
+	}
+	order := make([]int32, len(prefixes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := prefixes[order[a]], prefixes[order[b]]
+		if pa.Addr != pb.Addr {
+			return pa.Addr < pb.Addr
+		}
+		return pa.Bits < pb.Bits
+	})
+
+	// Exact node count: each prefix adds one node per bit past the longest
+	// common prefix with its sorted predecessor (which, in sorted order, is
+	// the longest common prefix with anything already inserted).
+	total := 1
+	for k, oi := range order {
+		p := prefixes[oi]
+		lcp := 0
+		if k > 0 {
+			lcp = commonBits(prefixes[order[k-1]], p)
+		}
+		total += int(p.Bits) - lcp
+	}
+
+	nodes := make([]trieNode, 1, total)
+	var path [33]int32 // path[d] = node index at depth d along the last prefix
+	size := 0
+	for k, oi := range order {
+		p := prefixes[oi]
+		start := 0
+		if k > 0 {
+			start = commonBits(prefixes[order[k-1]], p)
+		}
+		cur := path[start]
+		addr := uint32(p.Addr)
+		for depth := uint8(start); depth < p.Bits; depth++ {
+			bit := (addr >> (31 - depth)) & 1
+			next := nodes[cur].child[bit]
+			if next == 0 {
+				nodes = append(nodes, trieNode{})
+				next = int32(len(nodes) - 1)
+				nodes[cur].child[bit] = next
+			}
+			cur = next
+			path[depth+1] = cur
+		}
+		if !nodes[cur].set {
+			size++
+		}
+		v := uint32(1)
+		if values != nil {
+			v = values[oi]
+		}
+		nodes[cur].value = v
+		nodes[cur].set = true
+	}
+	return &LPM{nodes: nodes, size: size}
+}
+
+// commonBits returns the length of the longest common prefix of a and b as
+// bit strings: capped by both lengths and the first differing address bit.
+func commonBits(a, b Prefix) int {
+	n := int(a.Bits)
+	if int(b.Bits) < n {
+		n = int(b.Bits)
+	}
+	if x := uint32(a.Addr) ^ uint32(b.Addr); x != 0 {
+		if lz := bits.LeadingZeros32(x); lz < n {
+			n = lz
+		}
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuildLPMMatchesTrie is the equivalence property for the bulk
+// constructor: over random prefix sets (duplicates included, which must
+// keep the last value like Trie.Insert), BuildLPM's compiled LPM must
+// answer Lookup and Matches identically to Insert+Freeze, with the same
+// node count.
+func TestBuildLPMMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 40; iter++ {
+		n := rng.Intn(200)
+		prefixes := make([]Prefix, 0, n+4)
+		values := make([]uint32, 0, n+4)
+		add := func(p Prefix, v uint32) {
+			prefixes = append(prefixes, p)
+			values = append(values, v)
+		}
+		for i := 0; i < n; i++ {
+			bits := uint8(rng.Intn(25)) // includes 0 (default route)
+			p := Prefix{Addr: Addr(rng.Uint32()), Bits: bits}
+			p.Addr &= Addr(p.Mask())
+			add(p, uint32(rng.Intn(1000)))
+		}
+		if n > 0 {
+			// Force duplicates: re-add some prefixes with new values.
+			for i := 0; i < 1+n/10; i++ {
+				add(prefixes[rng.Intn(n)], uint32(1000+rng.Intn(1000)))
+			}
+		}
+		ref := NewTrie()
+		for i, p := range prefixes {
+			ref.Insert(p, values[i])
+		}
+		want := ref.Freeze()
+		got := BuildLPM(prefixes, values)
+		if got.Len() != want.Len() {
+			t.Fatalf("iter %d: Len = %d, want %d", iter, got.Len(), want.Len())
+		}
+		for probe := 0; probe < 500; probe++ {
+			var a Addr
+			if len(prefixes) > 0 && probe%2 == 0 {
+				// Half the probes land inside or near a stored prefix.
+				p := prefixes[rng.Intn(len(prefixes))]
+				a = p.Addr | Addr(rng.Uint32()&^p.Mask())
+			} else {
+				a = Addr(rng.Uint32())
+			}
+			gv, gok := got.Lookup(a)
+			wv, wok := want.Lookup(a)
+			if gv != wv || gok != wok {
+				t.Fatalf("iter %d: Lookup(%v) = %d,%v want %d,%v", iter, a, gv, gok, wv, wok)
+			}
+			var gm, wm []uint64
+			got.Matches(a, func(bits uint8, v uint32) bool {
+				gm = append(gm, uint64(bits)<<32|uint64(v))
+				return true
+			})
+			want.Matches(a, func(bits uint8, v uint32) bool {
+				wm = append(wm, uint64(bits)<<32|uint64(v))
+				return true
+			})
+			if len(gm) != len(wm) {
+				t.Fatalf("iter %d: Matches(%v) count %d want %d", iter, a, len(gm), len(wm))
+			}
+			for i := range gm {
+				if gm[i] != wm[i] {
+					t.Fatalf("iter %d: Matches(%v)[%d] = %x want %x", iter, a, i, gm[i], wm[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildLPMNilValues covers the presence-set form (values == nil): every
+// inserted prefix must answer Contains like a Trie of 1-values.
+func TestBuildLPMNilValues(t *testing.T) {
+	ps := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("192.0.2.0/24"),
+	}
+	l := BuildLPM(ps, nil)
+	for _, c := range []struct {
+		addr string
+		want bool
+	}{
+		{"10.2.3.4", true},
+		{"10.1.200.1", true},
+		{"192.0.2.99", true},
+		{"192.0.3.1", false},
+		{"11.0.0.1", false},
+	} {
+		if got := l.Contains(MustParseAddr(c.addr)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+	if empty := BuildLPM(nil, nil); empty.Contains(MustParseAddr("10.0.0.1")) {
+		t.Error("empty BuildLPM must contain nothing")
+	}
+}

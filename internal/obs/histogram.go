@@ -19,6 +19,14 @@ var LatencyBuckets = []float64{
 	51.2e-6, 102.4e-6, 204.8e-6, 409.6e-6, 1.6384e-3,
 }
 
+// BuildBuckets is the bucket ladder for pipeline-compilation durations, in
+// seconds: a reused rebuild at paper scale lands in the low milliseconds, a
+// cold full-table build in the tens of seconds — both ends need resolution.
+var BuildBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 60, 120,
+}
+
 // Histogram is a fixed-bucket concurrent histogram: observations land in
 // the first bucket whose upper bound is >= the value (+Inf implicit).
 // Observe is lock-free (binary search + two atomic adds + a CAS for the

@@ -18,6 +18,8 @@ const (
 	EventShedStop        = "shed-stop"
 	EventCheckpoint      = "checkpoint"
 	EventCheckpointError = "checkpoint-error"
+	EventRebuild         = "rebuild"
+	EventRebuildReused   = "rebuild-reused"
 	EventBGPEstablish    = "bgp-establish"
 	EventBGPFlap         = "bgp-flap"
 	EventBGPGiveUp       = "bgp-giveup"

@@ -199,12 +199,15 @@ func (lr *LiveRuntime) ServeBGP(cfg BGPFeedConfig) error {
 		OnSnapshot: func(rib *bgp.RIB) bool {
 			// Off the hot path: classification continues on the old epoch
 			// (possibly marked stale) while the new pipeline compiles.
-			cls, err := NewClassifierFromRIB(rib, lr.members, lr.opts)
+			// RebuildAndSwap diffs the snapshot's fingerprint against the
+			// current pipeline and reuses the graph/closure/index layers an
+			// unchanged topology leaves valid, so steady-state replays
+			// promote in a fraction of a cold compile.
+			_, _, err := lr.rt.RebuildAndSwap(rib, lr.members, lr.opts.coreOptions())
 			if err != nil {
 				rebuildErr = fmt.Errorf("spoofscope: rebuilding pipeline: %w", err)
 				return false
 			}
-			lr.SwapClassifier(cls)
 			epochs++
 			return cfg.MaxEpochs <= 0 || epochs < cfg.MaxEpochs
 		},

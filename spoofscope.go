@@ -107,6 +107,10 @@ type ClassifierOptions struct {
 	RouterAddrs []Addr
 	// DisableOrgMerge computes cones without organisation merging.
 	DisableOrgMerge bool
+	// BuildWorkers bounds the compilation worker pool (closure propagation,
+	// index construction, per-member tables). <= 0 means GOMAXPROCS; 1 runs
+	// the sequential build. The compiled classifier is identical either way.
+	BuildWorkers int
 }
 
 // Classifier is the compiled passive spoofing detector.
@@ -126,6 +130,15 @@ func NewClassifierFromMRT(mrt io.Reader, members []Member, opts ClassifierOption
 
 // NewClassifierFromRIB builds a classifier from an already-digested RIB.
 func NewClassifierFromRIB(rib *bgp.RIB, members []Member, opts ClassifierOptions) (*Classifier, error) {
+	p, err := core.NewPipeline(rib, members, opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{pipeline: p}, nil
+}
+
+// coreOptions lowers the facade options into the internal pipeline options.
+func (opts ClassifierOptions) coreOptions() core.Options {
 	var routers core.RouterSet
 	if len(opts.RouterAddrs) > 0 {
 		set := make(addrSet, len(opts.RouterAddrs))
@@ -134,15 +147,12 @@ func NewClassifierFromRIB(rib *bgp.RIB, members []Member, opts ClassifierOptions
 		}
 		routers = set
 	}
-	p, err := core.NewPipeline(rib, members, core.Options{
+	return core.Options{
 		Orgs:            opts.Orgs,
 		Routers:         routers,
 		DisableOrgMerge: opts.DisableOrgMerge,
-	})
-	if err != nil {
-		return nil, err
+		BuildWorkers:    opts.BuildWorkers,
 	}
-	return &Classifier{pipeline: p}, nil
 }
 
 type addrSet map[netx.Addr]struct{}
