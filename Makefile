@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify closure-prop obs-smoke fuzz bench bench-smoke
+.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,9 @@ race:
 	$(GO) test -race ./...
 
 # verify is the CI entry point: static checks, the race-checked suite, the
-# parallel-compilation equivalence property, and the observability smoke.
-verify: vet race closure-prop obs-smoke
+# parallel-compilation equivalence property, the observability smoke, and
+# the cluster chaos suite.
+verify: vet race closure-prop obs-smoke cluster-chaos
 
 # closure-prop runs the parallel-closure property tests explicitly (random
 # cyclic topologies: ConeClosures at 1/2/4/8 workers must match the
@@ -33,6 +34,15 @@ closure-prop:
 # unready -> ok (see obs_smoke_test.go).
 obs-smoke:
 	$(GO) test -race -run TestObsSmoke -count=1 .
+
+# cluster-chaos is the fault-tolerance gate: kill/stall/partition workers
+# mid-run (internal/cluster chaos suite) plus the end-to-end acceptance run
+# over the simulated IXP — every scenario must produce a merged checkpoint
+# byte-identical to the fault-free single-process run. Raced, because the
+# whole layer is concurrent by construction.
+cluster-chaos:
+	$(GO) test -race -run 'TestClusterSurvives|TestClusterRepeatedKillsConverge' -count=1 ./internal/cluster
+	$(GO) test -race -run TestResilientClusterMatchesSingleProcess -count=1 .
 
 # bench measures live-runtime consumption throughput (sequential Step loop
 # vs the batch-parallel consumer at 1/2/4/8 workers) plus pipeline
@@ -59,3 +69,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzServeStream -fuzztime=20s ./internal/ipfix
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalUpdate -fuzztime=20s ./internal/bgp
 	$(GO) test -run=^$$ -fuzz=FuzzMRT -fuzztime=20s ./internal/bgp
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeCheckpoint -fuzztime=20s ./internal/core

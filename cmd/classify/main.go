@@ -7,7 +7,8 @@
 //
 //	classify -data ixp-data/ [-json report.json] [-no-orgs]
 //	         [-checkpoint run.ckpt [-checkpoint-every N]]
-//	         [-workers N] [-metrics-addr host:port]
+//	         [-workers N] [-cluster N [-shards M]]
+//	         [-metrics-addr host:port]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -checkpoint, the aggregate state is snapshotted atomically every N
@@ -19,6 +20,14 @@
 // with the sequential consumer. A reader goroutine pushes flows with
 // backpressure (never shedding), so the final tallies — and any checkpoint
 // written — are identical across worker counts.
+//
+// With -cluster N the run uses the fault-tolerant coordinator/worker
+// runtime in-process: flows shard by ingress member across N workers (each
+// with its own locally compiled pipeline), and the result is the merged
+// worker checkpoints — identical to the single-process pass. -shards M
+// sets the handoff granularity (default 4 per worker). Cluster mode
+// refuses to resume from an existing -checkpoint file but writes the final
+// merged checkpoint to it.
 //
 // With -metrics-addr the run serves /metrics (Prometheus text), /healthz,
 // /events, and /debug/pprof while it classifies. SIGINT/SIGTERM stop the
@@ -36,16 +45,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"spoofscope/internal/bgp"
+	"spoofscope/internal/cluster"
 	"spoofscope/internal/core"
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/netx"
@@ -67,6 +79,8 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "crash-safe checkpoint file: resume from it if present, snapshot to it periodically")
 		ckptN    = flag.Uint64("checkpoint-every", 100000, "flows between checkpoint snapshots (with -checkpoint)")
 		workersN = flag.Int("workers", 0, "parallel classification workers (0 = single-threaded pass)")
+		clusterN = flag.Int("cluster", 0, "run the coordinator/worker cluster runtime with this many in-process workers (0 = off)")
+		shardsN  = flag.Int("shards", 0, "ingress-member shards in cluster mode (default 4 per worker)")
 		buildW   = flag.Int("build-workers", 0, "pipeline compilation workers (0 = GOMAXPROCS, 1 = sequential build)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address during the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -77,6 +91,17 @@ func main() {
 		// The flow cache re-times and merges records, so a flow index no
 		// longer positions a replay; refuse the ambiguous combination.
 		log.Fatal("-checkpoint cannot be combined with -aggregate")
+	}
+	if *shardsN > 0 && *clusterN <= 0 {
+		log.Fatal("-shards requires -cluster")
+	}
+	if *clusterN > 0 && *ckptPath != "" {
+		// Cluster checkpoints are written fresh from the merged worker
+		// reports; resuming a single-process replay cursor through the
+		// sharded runtime is not supported.
+		if _, err := os.Stat(*ckptPath); err == nil {
+			log.Fatalf("cluster mode cannot resume from an existing checkpoint; move %s aside first", *ckptPath)
+		}
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -132,15 +157,19 @@ func main() {
 		}
 	}
 
-	// RebuildPipeline with a nil predecessor is a cold NewPipeline that also
-	// reports BuildStats, so the initial compile shows up in the journal and
-	// the build-duration gauge exactly like later rebuilds would.
-	pipeline, bstats, err := core.RebuildPipeline(nil, rib, members, core.Options{
+	opts := core.Options{
 		Orgs:            orgGroups,
 		Routers:         routers,
 		DisableOrgMerge: *noOrgs,
 		BuildWorkers:    *buildW,
-	})
+	}
+
+	// RebuildPipeline with a nil predecessor is a cold NewPipeline that also
+	// reports BuildStats, so the initial compile shows up in the journal and
+	// the build-duration gauge exactly like later rebuilds would. In cluster
+	// mode each worker compiles its own copy from the same options; this one
+	// still serves -acl and validates the data up front.
+	pipeline, bstats, err := core.RebuildPipeline(nil, rib, members, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,7 +212,17 @@ func main() {
 	}
 	defer flows.Close()
 	fr := ipfix.NewFileReader(flows)
-	agg, n := classifyRun(ctx, fr, pipeline, bstats, *workersN, *aggTO, *ckptPath, *ckptN, tel)
+	var agg *core.Aggregator
+	var n int
+	if *clusterN > 0 {
+		shards := *shardsN
+		if shards <= 0 {
+			shards = 4 * *clusterN
+		}
+		agg, n = classifyCluster(ctx, fr, rib, members, opts, *clusterN, shards, *workersN, *aggTO, *ckptPath, tel)
+	} else {
+		agg, n = classifyRun(ctx, fr, pipeline, bstats, *workersN, *aggTO, *ckptPath, *ckptN, tel)
+	}
 	for _, m := range members {
 		agg.SetMemberASN(m.Port, m.ASN)
 	}
@@ -286,6 +325,100 @@ func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipel
 		log.Printf("checkpoint: %s", ckptPath)
 	}
 	return rt.Aggregator(), int(rt.Stats().Processed)
+}
+
+// classifyCluster drives the coordinator/worker runtime in-process: the
+// coordinator shards flows by ingress member, nWorkers workers (each
+// dialling over a net.Pipe) compile their own pipelines from the shipped
+// epoch and classify their shards, and the final answer is the merged
+// worker checkpoints — byte-identical to what classifyRun would produce
+// over the same flows. A cancelled ctx stops the feed; the checkpoint then
+// covers exactly the flows fed so far. With ckptPath the merged checkpoint
+// is also written to disk (resume is refused up front in cluster mode).
+func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, members []core.MemberInfo, opts core.Options, nWorkers, shards, drain int, aggTO time.Duration, ckptPath string, tel *obs.Telemetry) (*core.Aggregator, int) {
+	// In-process workers share this CPU with their own pipeline compiles, so
+	// a generous heartbeat keeps a busy compile from reading as a dead link
+	// (a starved worker is still handled correctly — its shards hand off and
+	// it rejoins — but the churn is noise here).
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Shards:  shards,
+		Members: members,
+		Start:   time.Unix(0, 0).UTC(), Bucket: 1 << 62, // single bucket
+		HeartbeatInterval: 2 * time.Second,
+		Telemetry:         tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name: fmt.Sprintf("worker-%d", i),
+			Dial: func() (net.Conn, error) {
+				workerSide, coordSide := net.Pipe()
+				coord.AddConn(coordSide)
+				return workerSide, nil
+			},
+			Opts:              opts,
+			DrainWorkers:      drain,
+			HeartbeatInterval: 2 * time.Second,
+			Seed:              int64(i),
+			Telemetry:         tel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+	if seq, err := coord.DistributeEpoch(rib); err != nil {
+		log.Fatal(err)
+	} else {
+		log.Printf("cluster: %d workers, %d shards, epoch %d distributed", nWorkers, shards, seq)
+	}
+
+	fed := 0
+	sink := func(f ipfix.Flow) bool {
+		if ctx.Err() != nil {
+			return false // interrupt: stop reading the file
+		}
+		coord.Ingest(f)
+		fed++
+		return true
+	}
+	if err := feedFlows(fr, aggTO, sink); err != nil {
+		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted: stopped after %d flows fed", fed)
+	}
+
+	// Checkpoint blocks until every fed flow has been durably reported by
+	// its owning worker, so the merge is complete even right after a feed.
+	cctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cp, err := coord.Checkpoint(cctx)
+	if err != nil {
+		log.Fatalf("cluster checkpoint: %v", err)
+	}
+	st := coord.Stats()
+	log.Printf("cluster: %d flows routed, %d handoffs, %d rebalances", st.FlowsRouted, st.Handoffs, st.Rebalances)
+	if ckptPath != "" {
+		if err := core.WriteCheckpointFile(ckptPath, cp); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("checkpoint: %s", ckptPath)
+	}
+	stopWorkers()
+	wg.Wait()
+	return cp.Agg, int(cp.Processed)
 }
 
 // feedFlows streams the flow file into sink, optionally running the

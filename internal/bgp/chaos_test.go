@@ -1,14 +1,17 @@
 package bgp
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"spoofscope/internal/faultnet"
 	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
 )
 
 // acceptSession runs a one-shot BGP responder on ln, pushing the established
@@ -221,6 +224,46 @@ func TestReconnectorGivesUpAfterMaxAttempts(t *testing.T) {
 	st := rec.Stats()
 	if st.Dials != 3 || st.LastError == "" {
 		t.Fatalf("stats = %+v", st)
+	}
+	if st.GiveUps != 1 {
+		t.Fatalf("give-ups = %d, want 1", st.GiveUps)
+	}
+}
+
+// TestReconnectorGiveUpIsObservable proves a terminal exit is visible
+// without polling Stats: the journal records the give-up event and the
+// spoofscope_bgp_giveups_total counter reads 1 from a metric scrape.
+func TestReconnectorGiveUpIsObservable(t *testing.T) {
+	tel := obs.NewTelemetry()
+	rec := NewReconnector(ReconnectorConfig{
+		Addr:           "unreachable:179",
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		MaxAttempts:    2,
+		Dial: func(string) (net.Conn, error) {
+			return nil, errors.New("connection refused")
+		},
+		Telemetry: tel,
+	})
+	defer rec.Close()
+	if _, err := rec.Recv(); err == nil {
+		t.Fatal("Recv succeeded with a failing dialer")
+	}
+	var gaveUp bool
+	for _, e := range tel.Journal.Events() {
+		if e.Kind == obs.EventBGPGiveUp {
+			gaveUp = true
+		}
+	}
+	if !gaveUp {
+		t.Fatalf("no %s event in journal: %v", obs.EventBGPGiveUp, tel.Journal.Events())
+	}
+	var buf bytes.Buffer
+	if err := tel.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `spoofscope_bgp_giveups_total{peer="unreachable:179"} 1`) {
+		t.Fatalf("give-up counter missing from scrape:\n%s", buf.String())
 	}
 }
 

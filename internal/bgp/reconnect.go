@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"spoofscope/internal/obs"
+	"spoofscope/internal/retry"
 )
 
 // SessionState is the supervision state of a Reconnector.
@@ -95,30 +95,6 @@ func (c *ReconnectorConfig) ctx() context.Context {
 	return context.Background()
 }
 
-func (c *ReconnectorConfig) initialBackoff() time.Duration {
-	if c.InitialBackoff <= 0 {
-		return 200 * time.Millisecond
-	}
-	return c.InitialBackoff
-}
-
-func (c *ReconnectorConfig) maxBackoff() time.Duration {
-	if c.MaxBackoff <= 0 {
-		return 30 * time.Second
-	}
-	return c.MaxBackoff
-}
-
-func (c *ReconnectorConfig) jitter() float64 {
-	switch {
-	case c.Jitter < 0:
-		return 0
-	case c.Jitter == 0:
-		return 0.1
-	}
-	return c.Jitter
-}
-
 // ReconnectorStats is a snapshot of supervision counters.
 type ReconnectorStats struct {
 	State SessionState
@@ -129,6 +105,12 @@ type ReconnectorStats struct {
 	// HoldExpiries counts the flaps caused by hold-timer expiry (a silent
 	// peer) rather than transport or decode failure.
 	HoldExpiries int
+	// GiveUps counts terminal exits: MaxAttempts consecutive connection
+	// attempts failed and Recv returned the terminal error. A supervisor
+	// that silently stops retrying is the worst BGP failure mode — the
+	// counter (and the matching journal event and metric) make it alert-able
+	// instead of discoverable only by polling.
+	GiveUps int
 	// LastError is the most recent dial/session failure ("" if none).
 	LastError string
 }
@@ -142,12 +124,13 @@ type Reconnector struct {
 	journal *obs.Journal // nil = silent
 
 	mu           sync.Mutex
-	rng          *rand.Rand
+	backoff      *retry.Backoff
 	sess         *Session
 	state        SessionState
 	dials        int
 	flaps        int
 	holdExpiries int
+	giveUps      int
 	lastErr      error
 	closed       chan struct{}
 	closeOne     sync.Once
@@ -166,10 +149,10 @@ func NewReconnector(cfg ReconnectorConfig) *Reconnector {
 		}
 	}
 	r := &Reconnector{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		state:  StateIdle,
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		backoff: retry.New(cfg.InitialBackoff, cfg.MaxBackoff, cfg.Jitter, cfg.Seed),
+		state:   StateIdle,
+		closed:  make(chan struct{}),
 	}
 	if t := cfg.Telemetry; t != nil {
 		r.journal = t.Journal
@@ -206,6 +189,9 @@ func (r *Reconnector) register(m *obs.Registry) {
 	m.CounterFunc("spoofscope_bgp_hold_expiries_total",
 		"BGP flaps caused by hold-timer expiry (silent peer).",
 		locked(func() uint64 { return uint64(r.holdExpiries) }), peer)
+	m.CounterFunc("spoofscope_bgp_giveups_total",
+		"Terminal supervision exits: the MaxAttempts backoff budget was exhausted.",
+		locked(func() uint64 { return uint64(r.giveUps) }), peer)
 }
 
 // Recv returns the next UPDATE from the supervised session, transparently
@@ -255,7 +241,7 @@ func (r *Reconnector) Session() *Session {
 func (r *Reconnector) Stats() ReconnectorStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := ReconnectorStats{State: r.state, Dials: r.dials, Flaps: r.flaps, HoldExpiries: r.holdExpiries}
+	st := ReconnectorStats{State: r.state, Dials: r.dials, Flaps: r.flaps, HoldExpiries: r.holdExpiries, GiveUps: r.giveUps}
 	if r.lastErr != nil {
 		st.LastError = r.lastErr.Error()
 	}
@@ -334,6 +320,9 @@ func (r *Reconnector) ensure() (*Session, error) {
 		r.lastErr = err
 		r.mu.Unlock()
 		if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
+			r.mu.Lock()
+			r.giveUps++
+			r.mu.Unlock()
 			r.setState(StateIdle)
 			r.journal.Recordf(obs.EventBGPGiveUp, "giving up on %s after %d attempts: %v", r.cfg.Addr, attempt, err)
 			return nil, fmt.Errorf("bgp: giving up on %s after %d attempts: %w", r.cfg.Addr, attempt, err)
@@ -372,24 +361,9 @@ func (r *Reconnector) establish() (*Session, error) {
 }
 
 // nextBackoff computes the jittered, capped delay before retry `attempt+1`
-// (attempt counts completed failures, starting at 1).
+// (attempt counts completed failures, starting at 1). The schedule is the
+// shared retry.Backoff, so the cluster worker's coordinator link and the
+// BGP supervisor back off identically.
 func (r *Reconnector) nextBackoff(attempt int) time.Duration {
-	base := r.cfg.initialBackoff()
-	limit := r.cfg.maxBackoff()
-	for i := 1; i < attempt && base < limit; i++ {
-		base *= 2
-	}
-	if base > limit {
-		base = limit
-	}
-	if j := r.cfg.jitter(); j > 0 {
-		r.mu.Lock()
-		f := 1 + (r.rng.Float64()*2-1)*j
-		r.mu.Unlock()
-		base = time.Duration(float64(base) * f)
-	}
-	if base < time.Millisecond {
-		base = time.Millisecond
-	}
-	return base
+	return r.backoff.Next(attempt)
 }

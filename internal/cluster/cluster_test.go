@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
+)
+
+var tcStart = time.Unix(1486252800, 0).UTC() // 2017-02-05, the paper's window
+
+// testRIB mirrors the hand-built routing view the core package tests use:
+// tier-1s AS10/AS20, members AS100 (port 1, 50.1/16), AS200 (port 2,
+// 60.1/16), AS300 (port 3, 70.1/16, customer of AS100).
+func testRIB() *bgp.RIB {
+	r := bgp.NewRIB()
+	add := func(prefix string, path ...bgp.ASN) {
+		r.AddAnnouncement(netx.MustParsePrefix(prefix), path)
+	}
+	add("70.1.0.0/16", 100, 300)
+	add("70.1.0.0/16", 10, 100, 300)
+	add("70.1.0.0/16", 20, 10, 100, 300)
+	add("50.1.0.0/16", 10, 100)
+	add("50.1.0.0/16", 20, 10, 100)
+	add("60.1.0.0/16", 20, 200)
+	add("60.1.0.0/16", 10, 20, 200)
+	add("80.0.0.0/12", 20, 10)
+	add("81.0.0.0/12", 10, 20)
+	return r
+}
+
+var testMembers = []core.MemberInfo{
+	{ASN: 100, Port: 1},
+	{ASN: 200, Port: 2},
+	{ASN: 300, Port: 3},
+}
+
+// testFlows builds a deterministic traffic mix across all three members:
+// own-prefix (valid), bogon, unrouted, and other-member (invalid) sources,
+// varied sizes, ports (incl. NTP), protocols, and timestamps spanning
+// buckets — every aggregate dimension the checkpoint codec serializes.
+func testFlows(n int) []ipfix.Flow {
+	rng := rand.New(rand.NewSource(7))
+	ownPrefix := map[uint32]string{1: "50.1", 2: "60.1", 3: "70.1"}
+	flows := make([]ipfix.Flow, n)
+	for i := range flows {
+		ingress := uint32(1 + rng.Intn(3))
+		var src string
+		switch rng.Intn(8) {
+		case 0:
+			src = "10.1.2.3" // bogon
+		case 1:
+			src = "99.1.2.3" // unrouted
+		case 2:
+			src = ownPrefix[uint32(1+rng.Intn(3))] + ".9.9" // maybe another member's space
+		default:
+			src = ownPrefix[ingress] + ".4.4"
+		}
+		f := ipfix.Flow{
+			Start:    tcStart.Add(time.Duration(rng.Intn(180)) * time.Minute),
+			SrcAddr:  netx.MustParseAddr(src),
+			DstAddr:  netx.MustParseAddr(ownPrefix[uint32(1+rng.Intn(3))] + ".0.9"),
+			SrcPort:  uint16(1024 + rng.Intn(60000)),
+			DstPort:  uint16(80),
+			Protocol: ipfix.ProtoTCP,
+			Packets:  uint64(1 + rng.Intn(9)),
+			Bytes:    uint64(40 + rng.Intn(1460)),
+			Ingress:  ingress,
+			Egress:   uint32(1 + rng.Intn(3)),
+		}
+		switch rng.Intn(5) {
+		case 0: // NTP trigger/response shapes
+			f.Protocol = ipfix.ProtoUDP
+			f.SrcPort, f.DstPort = 123, uint16(1024+rng.Intn(60000))
+		case 1:
+			f.Protocol = ipfix.ProtoUDP
+			f.SrcPort, f.DstPort = uint16(1024+rng.Intn(60000)), 123
+		case 2:
+			f.Protocol = ipfix.ProtoICMP
+			f.SrcPort, f.DstPort = 0, 0
+		}
+		flows[i] = f
+	}
+	return flows
+}
+
+// singleProcessCheckpoint is the fault-free oracle: one runtime, one
+// compiled pipeline, a full drain, one canonical checkpoint encoding.
+func singleProcessCheckpoint(t *testing.T, flows []ipfix.Flow) []byte {
+	t.Helper()
+	p, _, err := core.RebuildPipeline(nil, testRIB(), testMembers, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.RuntimeConfig{Pipeline: p, Start: tcStart, Bucket: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); rt.RunParallel(context.Background(), 0, nil) }()
+	for _, f := range flows {
+		if !rt.IngestWait(f) {
+			t.Fatal("reference runtime closed mid-feed")
+		}
+	}
+	buf := quiescentCheckpoint(t, rt)
+	rt.Close()
+	<-done
+	return buf
+}
+
+func quiescentCheckpoint(t *testing.T, rt *core.Runtime) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var buf bytes.Buffer
+		err := rt.WriteCheckpoint(&buf)
+		if err == nil {
+			return buf.Bytes()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime never quiescent: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// testCluster wires an in-process coordinator and workers over net.Pipe.
+// wrapDial, when non-nil, intercepts each new connection pair (worker
+// index, coordinator side, worker side) and returns the conns actually
+// used — the hook chaos tests use to inject faults on specific links.
+type testCluster struct {
+	t        *testing.T
+	coord    *Coordinator
+	tel      *obs.Telemetry
+	wrapDial func(worker int, coordSide, workerSide net.Conn) (net.Conn, net.Conn)
+
+	mu      sync.Mutex
+	cancels map[int]context.CancelFunc
+	runDone map[int]chan struct{}
+	conns   map[int]net.Conn // latest worker-side conn per worker
+}
+
+func newTestCluster(t *testing.T, shards int) *testCluster {
+	t.Helper()
+	tel := obs.NewTelemetry()
+	coord, err := NewCoordinator(Config{
+		Shards:            shards,
+		Members:           testMembers,
+		Start:             tcStart,
+		Bucket:            time.Hour,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Telemetry:         tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		t: t, coord: coord, tel: tel,
+		cancels: make(map[int]context.CancelFunc),
+		runDone: make(map[int]chan struct{}),
+		conns:   make(map[int]net.Conn),
+	}
+	t.Cleanup(coord.Close)
+	return tc
+}
+
+func (tc *testCluster) startWorker(i int) {
+	tc.t.Helper()
+	dial := func() (net.Conn, error) {
+		coordSide, workerSide := net.Pipe()
+		if tc.wrapDial != nil {
+			coordSide, workerSide = tc.wrapDial(i, coordSide, workerSide)
+		}
+		tc.mu.Lock()
+		tc.conns[i] = workerSide
+		tc.mu.Unlock()
+		tc.coord.AddConn(coordSide)
+		return workerSide, nil
+	}
+	w, err := NewWorker(WorkerConfig{
+		Name:              "w" + string(rune('0'+i)),
+		Dial:              dial,
+		HeartbeatInterval: 20 * time.Millisecond,
+		InitialBackoff:    5 * time.Millisecond,
+		MaxBackoff:        50 * time.Millisecond,
+		Seed:              int64(i),
+		Telemetry:         tc.tel,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	tc.mu.Lock()
+	tc.cancels[i] = cancel
+	tc.runDone[i] = done
+	tc.mu.Unlock()
+	tc.t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			tc.t.Error("worker did not stop")
+		}
+	})
+	// Wait for the join: on one CPU the test goroutine can otherwise feed
+	// the whole run before the worker's Hello is ever scheduled.
+	joinDeadline := time.Now().Add(5 * time.Second)
+	for !tc.hasJoined(w.label()) {
+		if time.Now().After(joinDeadline) {
+			tc.t.Fatalf("worker %d never joined", i)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (tc *testCluster) hasJoined(name string) bool {
+	for _, e := range tc.tel.Journal.Events() {
+		if e.Kind == obs.EventWorkerJoin && strings.HasPrefix(e.Msg, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// killWorker cancels a worker outright — process death. Its runtimes stop
+// and its link collapses; the coordinator must hand its shards off.
+func (tc *testCluster) killWorker(i int) {
+	tc.t.Helper()
+	tc.mu.Lock()
+	cancel := tc.cancels[i]
+	done := tc.runDone[i]
+	tc.mu.Unlock()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		tc.t.Fatal("killed worker did not exit")
+	}
+}
+
+// dropLink closes a worker's current connection — a transport failure.
+// The worker itself survives and redials.
+func (tc *testCluster) dropLink(i int) {
+	tc.mu.Lock()
+	conn := tc.conns[i]
+	tc.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (tc *testCluster) distribute(rib *bgp.RIB) uint64 {
+	tc.t.Helper()
+	seq, err := tc.coord.DistributeEpoch(rib)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	return seq
+}
+
+func (tc *testCluster) checkpointBytes() []byte {
+	tc.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cp, err := tc.coord.Checkpoint(ctx)
+	if err != nil {
+		tc.t.Fatalf("cluster checkpoint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := core.EncodeCheckpoint(&buf, cp); err != nil {
+		tc.t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assertCursorInvariant checks the exactly-once book-keeping after a
+// checkpoint: every flow routed is durably reported (nothing buffered) and
+// no shard is orphaned.
+func (tc *testCluster) assertCursorInvariant(fed int) {
+	tc.t.Helper()
+	st := tc.coord.Stats()
+	if st.FlowsRouted != uint64(fed) {
+		tc.t.Fatalf("routed %d flows, fed %d", st.FlowsRouted, fed)
+	}
+	if st.ReplayFlows != 0 {
+		tc.t.Fatalf("%d flows still in replay after checkpoint", st.ReplayFlows)
+	}
+	if st.Orphaned != 0 {
+		tc.t.Fatalf("%d shards orphaned after checkpoint", st.Orphaned)
+	}
+}
+
+func TestShardOfStableAndBounded(t *testing.T) {
+	seen := make(map[int]int)
+	for port := uint32(0); port < 1000; port++ {
+		s := ShardOf(port, 7)
+		if s < 0 || s >= 7 {
+			t.Fatalf("ShardOf(%d, 7) = %d out of range", port, s)
+		}
+		if s != ShardOf(port, 7) {
+			t.Fatalf("ShardOf(%d) unstable", port)
+		}
+		seen[s]++
+	}
+	for s := 0; s < 7; s++ {
+		if seen[s] == 0 {
+			t.Fatalf("shard %d never used across 1000 ports", s)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	flows := testFlows(5)
+	em := epochMsg{seq: 9, full: true, members: testMembers, anns: testRIB().Announcements()}
+	got, err := decodeEpoch(encodeEpoch(em))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != 9 || !got.full || len(got.members) != len(testMembers) || len(got.anns) != len(em.anns) {
+		t.Fatalf("epoch round trip mismatch: %+v", got)
+	}
+	for i, a := range got.anns {
+		if a.Prefix != em.anns[i].Prefix || a.Origin != em.anns[i].Origin {
+			t.Fatalf("announcement %d mismatch", i)
+		}
+	}
+
+	bump, err := decodeEpoch(encodeEpoch(epochMsg{seq: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bump.full || bump.seq != 10 || bump.anns != nil {
+		t.Fatalf("bump round trip mismatch: %+v", bump)
+	}
+
+	am := assignMsg{shard: 3, cursor: 77, startNanos: tcStart.UnixNano(), bucket: int64(time.Hour), checkpoint: []byte("cpbytes")}
+	ga, err := decodeAssign(encodeAssign(am))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.shard != 3 || ga.cursor != 77 || ga.startNanos != am.startNanos || string(ga.checkpoint) != "cpbytes" {
+		t.Fatalf("assign round trip mismatch: %+v", ga)
+	}
+
+	fm := flowsMsg{shard: 2, base: 41, flows: flows}
+	gf, err := decodeFlows(encodeFlows(fm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.shard != 2 || gf.base != 41 || len(gf.flows) != len(flows) {
+		t.Fatalf("flows round trip mismatch")
+	}
+	for i := range flows {
+		if !gf.flows[i].Start.Equal(flows[i].Start) || gf.flows[i].SrcAddr != flows[i].SrcAddr ||
+			gf.flows[i].Bytes != flows[i].Bytes || gf.flows[i].Ingress != flows[i].Ingress {
+			t.Fatalf("flow %d did not survive the wire", i)
+		}
+	}
+
+	rm := reportMsg{shard: 1, final: true, cursor: 123, checkpoint: []byte("x")}
+	gr, err := decodeReport(encodeReport(rm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.shard != 1 || !gr.final || gr.cursor != 123 || string(gr.checkpoint) != "x" {
+		t.Fatalf("report round trip mismatch: %+v", gr)
+	}
+
+	name, err := decodeHello(encodeHello("w1"))
+	if err != nil || name != "w1" {
+		t.Fatalf("hello round trip: %q, %v", name, err)
+	}
+}
+
+// TestClusterMatchesSingleProcess is the core contract: a multi-worker
+// cluster's merged checkpoint is byte-identical to the single-process
+// run's over the same flows.
+func TestClusterMatchesSingleProcess(t *testing.T) {
+	flows := testFlows(2000)
+	want := singleProcessCheckpoint(t, flows)
+
+	tc := newTestCluster(t, 4)
+	tc.startWorker(0)
+	tc.startWorker(1)
+	tc.distribute(testRIB())
+	for _, f := range flows {
+		tc.coord.Ingest(f)
+	}
+	got := tc.checkpointBytes()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster checkpoint differs from single-process run (%d vs %d bytes)", len(got), len(want))
+	}
+	tc.assertCursorInvariant(len(flows))
+}
+
+// TestEpochFingerprintGating: an unchanged RIB ships a sequence bump, not
+// the table; a changed one ships in full. Verified through the journal,
+// and through the merged checkpoint's epoch count still matching a
+// reference runtime that swapped as many times.
+func TestEpochFingerprintGating(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.startWorker(0)
+	rib := testRIB()
+	if seq := tc.distribute(rib); seq != 1 {
+		t.Fatalf("first epoch seq = %d", seq)
+	}
+	if seq := tc.distribute(rib); seq != 2 {
+		t.Fatalf("second epoch seq = %d", seq)
+	}
+	rib.AddAnnouncement(netx.MustParsePrefix("91.0.0.0/16"), []bgp.ASN{10, 20})
+	if seq := tc.distribute(rib); seq != 3 {
+		t.Fatalf("third epoch seq = %d", seq)
+	}
+	var full, bump int
+	for _, e := range tc.tel.Journal.Events() {
+		if e.Kind != obs.EventClusterEpoch || !strings.HasPrefix(e.Msg, "epoch ") {
+			continue
+		}
+		if strings.Contains(e.Msg, "full=true") {
+			full++
+		}
+		if strings.Contains(e.Msg, "full=false") {
+			bump++
+		}
+	}
+	if full != 2 || bump != 1 {
+		t.Fatalf("full=%d bump=%d epochs journaled, want 2 full + 1 bump", full, bump)
+	}
+}
+
+// TestLateJoinerRebalances: a second worker joining a loaded cluster takes
+// over shards via graceful revokes, and the merged checkpoint still
+// matches the single-process run.
+func TestLateJoinerRebalances(t *testing.T) {
+	flows := testFlows(1500)
+	want := singleProcessCheckpoint(t, flows)
+
+	tc := newTestCluster(t, 4)
+	tc.startWorker(0)
+	tc.distribute(testRIB())
+	for _, f := range flows[:750] {
+		tc.coord.Ingest(f)
+	}
+	tc.startWorker(1)
+	for _, f := range flows[750:] {
+		tc.coord.Ingest(f)
+	}
+	got := tc.checkpointBytes()
+	if !bytes.Equal(got, want) {
+		t.Fatal("checkpoint diverged across a graceful rebalance")
+	}
+	tc.assertCursorInvariant(len(flows))
+	if st := tc.coord.Stats(); st.Rebalances == 0 {
+		t.Fatal("no rebalance happened for the late joiner")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := tc.coord.Stats(); st.Workers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second worker never joined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerReconnectResumes: a transport failure (link drop, worker
+// alive) redials with backoff, the coordinator reassigns from the last
+// durable report, and the final checkpoint is still byte-identical.
+func TestWorkerReconnectResumes(t *testing.T) {
+	flows := testFlows(1500)
+	want := singleProcessCheckpoint(t, flows)
+
+	tc := newTestCluster(t, 3)
+	tc.startWorker(0)
+	tc.distribute(testRIB())
+	for _, f := range flows[:700] {
+		tc.coord.Ingest(f)
+	}
+	tc.dropLink(0)
+	for _, f := range flows[700:] {
+		tc.coord.Ingest(f)
+	}
+	got := tc.checkpointBytes()
+	if !bytes.Equal(got, want) {
+		t.Fatal("checkpoint diverged across a link drop and reconnect")
+	}
+	tc.assertCursorInvariant(len(flows))
+	if st := tc.coord.Stats(); st.Handoffs == 0 {
+		for _, e := range tc.tel.Journal.Events() {
+			t.Logf("journal: %s %s", e.Kind, e.Msg)
+		}
+		t.Fatalf("link drop did not hand shards off: %+v", st)
+	}
+}
+
+// TestClusterHealthTransitions: unready before the first epoch, ok while
+// owned, degraded while a shard is orphaned with buffered flows.
+func TestClusterHealthTransitions(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	if h := tc.tel.Health(); h.Ready || h.Status != "unready" {
+		t.Fatalf("health before epoch = %+v", h)
+	}
+	tc.startWorker(0)
+	tc.distribute(testRIB())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := tc.tel.Health(); h.Ready && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never ok: %+v", tc.tel.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tc.killWorker(0)
+	for _, f := range testFlows(10) {
+		tc.coord.Ingest(f)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if h := tc.tel.Health(); h.Ready && h.Status == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never degraded after worker death: %+v", tc.tel.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

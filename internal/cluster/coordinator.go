@@ -1,0 +1,769 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/obs"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards is the number of ingress-member shards (required, > 0). More
+	// shards than workers is normal: shards are the unit of handoff, so a
+	// finer grain rebalances more evenly.
+	Shards int
+	// Members is the IXP member table shipped to workers with every full
+	// epoch — workers compile their pipelines from it locally.
+	Members []core.MemberInfo
+	// Start and Bucket configure every shard aggregator's time series; one
+	// shared time base is what makes the merged checkpoint canonical.
+	Start  time.Time
+	Bucket time.Duration
+	// HeartbeatInterval paces liveness traffic in both directions (default
+	// 500ms); HeartbeatMisses heartbeats without any frame declare a link
+	// dead (default 3).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// FlowBatch bounds flows per wire frame (default 64).
+	FlowBatch int
+	// Telemetry, when non-nil, registers cluster metrics, records shard
+	// lifecycle events in the journal, and installs the readiness source:
+	// unready before the first epoch, degraded while any shard is orphaned
+	// (its flows buffer until a worker takes it over), ok otherwise.
+	Telemetry *obs.Telemetry
+}
+
+func (c *Config) interval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.HeartbeatInterval
+}
+
+func (c *Config) misses() int {
+	if c.HeartbeatMisses <= 0 {
+		return 3
+	}
+	return c.HeartbeatMisses
+}
+
+func (c *Config) deadline() time.Duration {
+	return c.interval() * time.Duration(c.misses())
+}
+
+func (c *Config) flowBatch() int {
+	if c.FlowBatch <= 0 {
+		return 64
+	}
+	return c.FlowBatch
+}
+
+// outboundDepth bounds a link's outbound frame queue. A worker that stops
+// reading for long enough to back this up is indistinguishable from a dead
+// one, and is treated as such rather than stalling the whole cluster.
+const outboundDepth = 4096
+
+// link is one connected worker from the coordinator's side.
+type link struct {
+	name string
+	conn net.Conn
+	out  chan []byte
+
+	closeOnce sync.Once
+	dead      chan struct{}
+}
+
+func (l *link) label() string {
+	if l.name != "" {
+		return l.name
+	}
+	return "worker"
+}
+
+// shardState is the coordinator's book-keeping for one shard. The cursor
+// invariant that makes handoff exactly-once:
+//
+//	ackBase <= sentCursor <= cursor
+//	replay == the flows [ackBase, cursor)
+//
+// lastReport is the checkpoint that incorporates exactly the first ackBase
+// flows of the shard stream. Reassignment sends lastReport plus the replay
+// buffer, so the new owner reconstructs precisely the flows the dead owner
+// never durably reported — nothing lost, nothing double-counted.
+type shardState struct {
+	id         uint32
+	owner      *link
+	revoking   bool
+	cursor     uint64
+	sentCursor uint64
+	ackBase    uint64
+	lastReport []byte
+	replay     []ipfix.Flow
+}
+
+// Coordinator owns the flow source, routes flows to shard owners, and
+// folds worker reports back into one canonical checkpoint.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	shards   []*shardState
+	links    map[*link]struct{}
+	epochSeq uint64
+	lastFP   bgp.Fingerprint
+	haveFP   bool
+	// epochFull is the latest full-epoch frame, replayed to late joiners.
+	epochFull []byte
+	closed    bool
+	degraded  bool
+
+	// counters (under mu; exposed as func-backed metrics)
+	flowsRouted  uint64
+	handoffs     uint64
+	rebalances   uint64
+	hbMisses     uint64
+	staleReports uint64
+	epochsSent   uint64
+	checkpoints  uint64
+}
+
+// NewCoordinator validates the configuration and registers telemetry.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Shards <= 0 {
+		return nil, errors.New("cluster: Shards must be > 0")
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = time.Hour
+	}
+	c := &Coordinator{cfg: cfg, links: make(map[*link]struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	c.shards = make([]*shardState, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shardState{id: uint32(i)}
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		c.instrument(tel)
+	}
+	go c.tick()
+	return c, nil
+}
+
+func (c *Coordinator) instrument(tel *obs.Telemetry) {
+	m := tel.Metrics
+	locked := func(fn func() uint64) func() uint64 {
+		return func() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return fn() }
+	}
+	m.CounterFunc("spoofscope_cluster_flows_routed_total",
+		"Flows routed to a shard by the coordinator.",
+		locked(func() uint64 { return c.flowsRouted }))
+	m.CounterFunc("spoofscope_cluster_handoffs_total",
+		"Shard handoffs forced by a dead worker link.",
+		locked(func() uint64 { return c.handoffs }))
+	m.CounterFunc("spoofscope_cluster_rebalances_total",
+		"Graceful shard moves triggered by membership changes.",
+		locked(func() uint64 { return c.rebalances }))
+	m.CounterFunc("spoofscope_cluster_heartbeat_misses_total",
+		"Links declared dead after the heartbeat deadline passed silent.",
+		locked(func() uint64 { return c.hbMisses }))
+	m.CounterFunc("spoofscope_cluster_stale_reports_total",
+		"Shard reports rejected because the sender no longer owns the shard.",
+		locked(func() uint64 { return c.staleReports }))
+	m.CounterFunc("spoofscope_cluster_epochs_total",
+		"Routing-state epochs distributed to workers.",
+		locked(func() uint64 { return c.epochsSent }))
+	m.GaugeFunc("spoofscope_cluster_workers",
+		"Live worker links.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.links)) })
+	m.GaugeFunc("spoofscope_cluster_shards_orphaned",
+		"Shards with no owner; their flows buffer in the replay queue.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.orphanedLocked()) })
+	m.GaugeFunc("spoofscope_cluster_replay_flows",
+		"Flows buffered awaiting a durable worker report.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			n := 0
+			for _, s := range c.shards {
+				n += len(s.replay)
+			}
+			return float64(n)
+		})
+	tel.SetHealth(func() obs.Health {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch {
+		case c.epochSeq == 0:
+			return obs.Health{Status: "unready", Detail: "no routing epoch distributed yet"}
+		case c.orphanedLocked() > 0:
+			return obs.Health{Ready: true, Status: "degraded",
+				Detail: fmt.Sprintf("%d shards orphaned; flows buffering", c.orphanedLocked())}
+		case len(c.links) == 0:
+			return obs.Health{Ready: true, Status: "degraded", Detail: "no live workers"}
+		default:
+			return obs.Health{Ready: true, Status: "ok"}
+		}
+	})
+}
+
+func (c *Coordinator) orphanedLocked() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.owner == nil && s.cursor > s.ackBase {
+			n++
+		}
+	}
+	return n
+}
+
+// tick flushes buffered flow batches and sends heartbeats on every link at
+// the heartbeat cadence, until Close.
+func (c *Coordinator) tick() {
+	t := time.NewTicker(c.cfg.interval())
+	defer t.Stop()
+	n := 0
+	for range t.C {
+		n++
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, s := range c.shards {
+			c.flushShardLocked(s)
+		}
+		for l := range c.links {
+			if !c.trySendLocked(l, heartbeatFrame) {
+				go c.killLink(l, "outbound queue full at heartbeat")
+			}
+		}
+		// Every few beats, solicit reports so replay buffers stay bounded
+		// between explicit checkpoints.
+		if n%8 == 0 {
+			c.requestReportsLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Serve accepts worker connections until the listener closes.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		c.AddConn(conn)
+	}
+}
+
+// AddConn hands one worker connection to the coordinator, which owns it
+// from here on. The link joins the cluster once its Hello arrives.
+func (c *Coordinator) AddConn(conn net.Conn) {
+	l := &link{conn: conn, out: make(chan []byte, outboundDepth), dead: make(chan struct{})}
+	go c.writeLoop(l)
+	go c.readLoop(l)
+}
+
+func (c *Coordinator) writeLoop(l *link) {
+	for {
+		select {
+		case frame := <-l.out:
+			if err := l.conn.SetWriteDeadline(time.Now().Add(c.cfg.deadline())); err != nil {
+				c.killLink(l, "set write deadline: "+err.Error())
+				return
+			}
+			if err := writeFrame(l.conn, frame); err != nil {
+				c.killLink(l, "write: "+err.Error())
+				return
+			}
+		case <-l.dead:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) readLoop(l *link) {
+	// The first frame must be a Hello; only then does the link join.
+	body, err := readFrame(l.conn, time.Now().Add(c.cfg.deadline()))
+	if err != nil || len(body) == 0 || body[0] != msgHello {
+		c.killLink(l, "no hello")
+		return
+	}
+	name, err := decodeHello(body)
+	if err != nil {
+		c.killLink(l, "bad hello")
+		return
+	}
+	l.name = name
+	c.join(l)
+
+	for {
+		body, err := readFrame(l.conn, time.Now().Add(c.cfg.deadline()))
+		if err != nil {
+			reason := "read: " + err.Error()
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.mu.Lock()
+				c.hbMisses++
+				c.mu.Unlock()
+				c.cfg.Telemetry.Recordf(obs.EventHeartbeatMiss,
+					"%s silent for %v; declaring dead", l.label(), c.cfg.deadline())
+				reason = "heartbeat deadline"
+			}
+			c.killLink(l, reason)
+			return
+		}
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case msgHeartbeat:
+			// The read deadline reset is the whole point.
+		case msgReport:
+			m, err := decodeReport(body)
+			if err != nil {
+				c.killLink(l, "bad report: "+err.Error())
+				return
+			}
+			c.handleReport(l, m)
+		default:
+			c.killLink(l, fmt.Sprintf("unexpected message type %d", body[0]))
+			return
+		}
+	}
+}
+
+func (c *Coordinator) join(l *link) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		go c.killLink(l, "coordinator closed")
+		return
+	}
+	c.links[l] = struct{}{}
+	c.cfg.Telemetry.Recordf(obs.EventWorkerJoin, "%s joined (%d links)", l.label(), len(c.links))
+	if c.epochFull != nil {
+		c.trySendLocked(l, c.epochFull)
+	}
+	c.rebalanceLocked()
+	c.cond.Broadcast()
+}
+
+// killLink tears a link down and orphans its shards; rebalancing reassigns
+// them to survivors from their last durable report plus the replay buffer.
+// Idempotent, and safe to call before the link ever joined.
+func (c *Coordinator) killLink(l *link, reason string) {
+	c.mu.Lock()
+	_, joined := c.links[l]
+	delete(c.links, l)
+	if joined {
+		c.cfg.Telemetry.Recordf(obs.EventWorkerDead, "%s: %s", l.label(), reason)
+		for _, s := range c.shards {
+			if s.owner == l {
+				s.owner = nil
+				s.revoking = false
+				s.sentCursor = s.ackBase
+				c.handoffs++
+				c.cfg.Telemetry.Recordf(obs.EventShardHandoff,
+					"shard %d orphaned by %s at cursor %d (acked %d, %d flows to replay)",
+					s.id, l.label(), s.cursor, s.ackBase, s.cursor-s.ackBase)
+			}
+		}
+		c.rebalanceLocked()
+		c.noteDegradedLocked()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	l.closeOnce.Do(func() {
+		close(l.dead)
+		l.conn.Close()
+	})
+}
+
+func (c *Coordinator) noteDegradedLocked() {
+	now := c.orphanedLocked() > 0
+	if now && !c.degraded {
+		c.cfg.Telemetry.Recordf(obs.EventClusterDegraded,
+			"%d shards orphaned; serving degraded", c.orphanedLocked())
+	}
+	if !now && c.degraded {
+		c.cfg.Telemetry.Record(obs.EventClusterRecovered, "all shards owned again")
+	}
+	c.degraded = now
+}
+
+// rebalanceLocked assigns orphaned shards to the least-loaded links and,
+// when ownership counts are lopsided by more than one shard, gracefully
+// revokes from the most-loaded link so the freed shard can move.
+func (c *Coordinator) rebalanceLocked() {
+	if len(c.links) == 0 {
+		return
+	}
+	owned := make(map[*link]int, len(c.links))
+	for l := range c.links {
+		owned[l] = 0
+	}
+	for _, s := range c.shards {
+		if s.owner != nil {
+			owned[s.owner]++
+		}
+	}
+	least := func() *link {
+		var best *link
+		for l, n := range owned {
+			if best == nil || n < owned[best] {
+				best = l
+			}
+		}
+		return best
+	}
+	for _, s := range c.shards {
+		if s.owner == nil {
+			dst := least()
+			c.assignLocked(s, dst)
+			owned[dst]++
+		}
+	}
+	// Graceful moves: revoke from the most-loaded link while the spread
+	// exceeds one. The shard is reassigned when its final report lands.
+	for {
+		var max *link
+		for l, n := range owned {
+			if max == nil || n > owned[max] {
+				max = l
+			}
+		}
+		min := least()
+		if max == nil || owned[max]-owned[min] <= 1 {
+			return
+		}
+		moved := false
+		for _, s := range c.shards {
+			if s.owner == max && !s.revoking {
+				s.revoking = true
+				c.flushRevokedLocked(s)
+				c.rebalances++
+				c.cfg.Telemetry.Recordf(obs.EventShardRevoke,
+					"shard %d revoked from %s for rebalance", s.id, max.label())
+				if !c.trySendLocked(max, encodeShardOnly(msgRevoke, s.id)) {
+					go c.killLink(max, "outbound queue full at revoke")
+				}
+				owned[max]--
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// flushRevokedLocked pushes any still-buffered flows to the current owner
+// before the revoke frame, so the final report covers the whole stream
+// prefix and the new owner starts with an empty replay.
+func (c *Coordinator) flushRevokedLocked(s *shardState) {
+	c.flushToOwnerLocked(s)
+}
+
+func (c *Coordinator) assignLocked(s *shardState, l *link) {
+	s.owner = l
+	s.revoking = false
+	s.sentCursor = s.ackBase
+	m := assignMsg{
+		shard:      s.id,
+		cursor:     s.ackBase,
+		startNanos: c.cfg.Start.UnixNano(),
+		bucket:     int64(c.cfg.Bucket),
+		checkpoint: s.lastReport,
+	}
+	if !c.trySendLocked(l, encodeAssign(m)) {
+		go c.killLink(l, "outbound queue full at assign")
+		return
+	}
+	c.cfg.Telemetry.Recordf(obs.EventShardAssign,
+		"shard %d -> %s from cursor %d (%d flows to replay)",
+		s.id, l.label(), s.ackBase, s.cursor-s.ackBase)
+	c.flushShardLocked(s)
+	c.noteDegradedLocked()
+}
+
+func (c *Coordinator) trySendLocked(l *link, frame []byte) bool {
+	select {
+	case l.out <- frame:
+		return true
+	case <-l.dead:
+		return false
+	default:
+		return false
+	}
+}
+
+// flushShardLocked frames the unsent suffix of the replay buffer to the
+// shard's owner, chunked to the configured batch size.
+func (c *Coordinator) flushShardLocked(s *shardState) {
+	if s.owner != nil && !s.revoking {
+		c.flushToOwnerLocked(s)
+	}
+}
+
+func (c *Coordinator) flushToOwnerLocked(s *shardState) {
+	l := s.owner
+	if l == nil {
+		return
+	}
+	batch := uint64(c.cfg.flowBatch())
+	for s.sentCursor < s.cursor {
+		n := s.cursor - s.sentCursor
+		if n > batch {
+			n = batch
+		}
+		off := s.sentCursor - s.ackBase
+		frame := encodeFlows(flowsMsg{
+			shard: s.id,
+			base:  s.sentCursor,
+			flows: s.replay[off : off+n],
+		})
+		if !c.trySendLocked(l, frame) {
+			// Outbound queue full: leave the suffix buffered; the ticker
+			// retries, and a persistently full queue kills the link at the
+			// next heartbeat.
+			return
+		}
+		s.sentCursor += n
+	}
+}
+
+// Ingest routes one flow to its shard. Flows for orphaned shards buffer in
+// the replay queue (degraded service) and are delivered on reassignment;
+// ingest never blocks and never drops.
+func (c *Coordinator) Ingest(f ipfix.Flow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	s := c.shards[ShardOf(f.Ingress, len(c.shards))]
+	s.replay = append(s.replay, f)
+	s.cursor++
+	c.flowsRouted++
+	if s.owner != nil && !s.revoking && s.cursor-s.sentCursor >= uint64(c.cfg.flowBatch()) {
+		c.flushToOwnerLocked(s)
+	}
+}
+
+// DistributeEpoch ships a RIB snapshot to every worker. The two-tier
+// fingerprint gates what moves: an unchanged announcement set ships a
+// sequence bump only; a changed one ships the full announcement and member
+// tables, and each worker's RebuildPipeline reuses whatever compile layers
+// its own previous pipeline's fingerprint still proves valid.
+func (c *Coordinator) DistributeEpoch(rib *bgp.RIB) (uint64, error) {
+	anns := rib.Announcements()
+	if len(anns) == 0 {
+		return 0, errors.New("cluster: RIB is empty")
+	}
+	fp := rib.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("cluster: coordinator closed")
+	}
+	c.epochSeq++
+	c.epochsSent++
+	full := !c.haveFP || fp.Anns != c.lastFP.Anns
+	c.lastFP, c.haveFP = fp, true
+	var frame []byte
+	if full {
+		frame = encodeEpoch(epochMsg{seq: c.epochSeq, full: true, members: c.cfg.Members, anns: anns})
+		c.epochFull = frame
+	} else {
+		frame = encodeEpoch(epochMsg{seq: c.epochSeq})
+		// Late joiners still need the state itself: keep the latest full
+		// frame, only its sequence number is stale — workers treat any
+		// full frame as authoritative.
+	}
+	for l := range c.links {
+		if !c.trySendLocked(l, frame) {
+			go c.killLink(l, "outbound queue full at epoch")
+		}
+	}
+	c.cfg.Telemetry.Recordf(obs.EventClusterEpoch,
+		"epoch %d distributed (full=%v, %d announcements)", c.epochSeq, full, len(anns))
+	return c.epochSeq, nil
+}
+
+func (c *Coordinator) handleReport(l *link, m reportMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(m.shard) >= len(c.shards) {
+		c.staleReports++
+		return
+	}
+	s := c.shards[m.shard]
+	if s.owner != l {
+		// A zombie: the reporter lost the shard (we declared it dead or
+		// revoked it) after sending. Accepting it would double-count the
+		// replay the new owner is also processing.
+		c.staleReports++
+		c.cfg.Telemetry.Recordf(obs.EventStaleReportRejected,
+			"shard %d report from %s ignored: not the owner", m.shard, l.label())
+		return
+	}
+	if m.cursor < s.ackBase || m.cursor > s.sentCursor {
+		go c.killLink(l, fmt.Sprintf("shard %d report cursor %d outside [%d,%d]",
+			m.shard, m.cursor, s.ackBase, s.sentCursor))
+		return
+	}
+	s.replay = s.replay[m.cursor-s.ackBase:]
+	s.ackBase = m.cursor
+	s.lastReport = m.checkpoint
+	if m.final && s.revoking {
+		s.owner = nil
+		s.revoking = false
+		s.sentCursor = s.ackBase
+		c.rebalanceLocked()
+	}
+	c.cond.Broadcast()
+}
+
+// requestReportsLocked asks every owned, in-sync shard's owner for a fresh
+// quiescent report.
+func (c *Coordinator) requestReportsLocked() {
+	for _, s := range c.shards {
+		if s.owner == nil || s.revoking {
+			continue
+		}
+		c.flushToOwnerLocked(s)
+		if !c.trySendLocked(s.owner, encodeShardOnly(msgReportReq, s.id)) {
+			go c.killLink(s.owner, "outbound queue full at report request")
+		}
+	}
+}
+
+// Checkpoint waits until every shard's durable report has caught up with
+// its cursor, then folds the shard aggregates — via the order-independent
+// merge — into one checkpoint whose canonical encoding is byte-identical
+// to a fault-free single-process run over the same flows. The caller must
+// have stopped feeding Ingest. Shards that are orphaned with unreported
+// flows make this wait; cancel the context to give up.
+func (c *Coordinator) Checkpoint(ctx context.Context) (*core.Checkpoint, error) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requestReportsLocked()
+	lastNudge := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cluster: checkpoint: %w (%d shards behind)", ctx.Err(), c.behindLocked())
+		}
+		if c.behindLocked() == 0 {
+			break
+		}
+		// Re-request periodically: a handoff between our first request and
+		// quiescence moves a shard to an owner that never saw the request.
+		if time.Since(lastNudge) >= c.cfg.interval() {
+			c.requestReportsLocked()
+			lastNudge = time.Now()
+		}
+		c.cond.Wait()
+	}
+
+	merged := core.NewAggregator(c.cfg.Start, c.cfg.Bucket)
+	var total, stale uint64
+	degraded := false
+	for _, s := range c.shards {
+		total += s.cursor
+		if s.lastReport == nil {
+			continue
+		}
+		cp, err := core.DecodeCheckpoint(bytes.NewReader(s.lastReport))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d report: %w", s.id, err)
+		}
+		merged.Merge(cp.Agg)
+		stale += cp.StaleVerdicts
+		degraded = degraded || cp.Degraded
+	}
+	c.checkpoints++
+	return &core.Checkpoint{
+		Ingested:      total,
+		Queued:        total,
+		Processed:     total,
+		Epoch:         core.Epoch(c.epochSeq),
+		Swaps:         c.epochSeq,
+		StaleVerdicts: stale,
+		Degraded:      degraded,
+		Agg:           merged,
+	}, nil
+}
+
+func (c *Coordinator) behindLocked() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.ackBase < s.cursor || (s.cursor > 0 && s.lastReport == nil) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is a point-in-time cluster summary for tests and operators.
+type Stats struct {
+	Workers      int
+	Orphaned     int
+	ReplayFlows  int
+	FlowsRouted  uint64
+	Handoffs     uint64
+	Rebalances   uint64
+	StaleReports uint64
+	EpochSeq     uint64
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Workers:      len(c.links),
+		Orphaned:     c.orphanedLocked(),
+		FlowsRouted:  c.flowsRouted,
+		Handoffs:     c.handoffs,
+		Rebalances:   c.rebalances,
+		StaleReports: c.staleReports,
+		EpochSeq:     c.epochSeq,
+	}
+	for _, s := range c.shards {
+		st.ReplayFlows += len(s.replay)
+	}
+	return st
+}
+
+// Close tears down every link and stops the ticker.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	ls := make([]*link, 0, len(c.links))
+	for l := range c.links {
+		ls = append(ls, l)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, l := range ls {
+		c.killLink(l, "coordinator closed")
+	}
+}

@@ -1,0 +1,20 @@
+package cluster
+
+// ShardOf maps an ingress switch port (the flow's member identity) to a
+// shard in [0, shards). The hash is FNV-1a over the port's four bytes —
+// stable across processes, Go versions, and runs, which is what makes a
+// shard assignment reproducible: the same member's traffic always lands on
+// the same shard, so per-member aggregate state never splits across
+// workers and a replayed run shards identically.
+func ShardOf(ingress uint32, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(ingress >> (8 * i)))
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}

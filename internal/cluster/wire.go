@@ -1,0 +1,412 @@
+// Package cluster shards live classification across worker processes.
+//
+// A Coordinator owns the flow source and the routing feed; Workers own
+// disjoint ingress-member shards (stable hash of the ingress port, so a
+// member's traffic always lands on the same shard) and run the ordinary
+// single-process runtime — compiled pipeline, bounded queue, batch-parallel
+// drain — against their slice of the traffic. The coordinator distributes
+// RIB epochs (fingerprint-gated, so an unchanged table ships a few bytes),
+// folds worker reports through the order-independent aggregate merge, and
+// survives worker crashes by reassigning a dead worker's shards from their
+// last acknowledged checkpoint plus a replay buffer — no flow is counted
+// twice and none is lost.
+//
+// The wire protocol in this file is deliberately minimal: length-prefixed
+// frames over any net.Conn, so tests can run it over net.Pipe and wrap it
+// in faultnet schedules. Frames carry fixed-width big-endian scalars — the
+// same discipline as the checkpoint codec — so every encoding is canonical
+// and replayable.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+	"spoofscope/internal/ipfix"
+	"spoofscope/internal/netx"
+)
+
+// Message types. The one-byte tag leads every frame body.
+const (
+	msgHello     = 1 // worker → coordinator: name
+	msgEpoch     = 2 // coordinator → worker: routing state (full or bump)
+	msgAssign    = 3 // coordinator → worker: shard ownership + resume state
+	msgRevoke    = 4 // coordinator → worker: drain shard, send final report
+	msgFlows     = 5 // coordinator → worker: a batch of shard flows
+	msgReportReq = 6 // coordinator → worker: request a quiescent report
+	msgReport    = 7 // worker → coordinator: shard checkpoint
+	msgHeartbeat = 8 // both directions: liveness
+)
+
+// maxFrame bounds a frame body so a corrupted length prefix cannot force
+// an unbounded allocation — the same defence the checkpoint decoder has.
+const maxFrame = 1 << 26
+
+// flowWireLen is the fixed encoded size of one flow on the cluster wire.
+const flowWireLen = 8 + 4 + 4 + 2 + 2 + 1 + 1 + 8 + 8 + 4 + 4
+
+var errFrameTooLarge = errors.New("cluster: frame exceeds size cap")
+
+// writeFrame sends one frame: 4-byte big-endian body length, then the body
+// (whose first byte is the message type).
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return errFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame body. The deadline (zero = none) bounds the
+// wait — the liveness detector for both sides of a link.
+func readFrame(c net.Conn, deadline time.Time) ([]byte, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, errors.New("cluster: empty frame")
+	}
+	if n > maxFrame {
+		return nil, errFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// --- scalar append/consume helpers -----------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// reader consumes scalars from a frame body, latching the first error —
+// the decoding discipline shared with the checkpoint codec.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err == nil && int(n) > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("cluster: %d trailing bytes in frame", len(r.b))
+	}
+	return nil
+}
+
+// --- flow codec ------------------------------------------------------------
+
+func appendFlow(b []byte, f ipfix.Flow) []byte {
+	b = appendU64(b, uint64(f.Start.UnixNano()))
+	b = appendU32(b, uint32(f.SrcAddr))
+	b = appendU32(b, uint32(f.DstAddr))
+	b = appendU16(b, f.SrcPort)
+	b = appendU16(b, f.DstPort)
+	b = append(b, f.Protocol, f.TCPFlags)
+	b = appendU64(b, f.Packets)
+	b = appendU64(b, f.Bytes)
+	b = appendU32(b, f.Ingress)
+	b = appendU32(b, f.Egress)
+	return b
+}
+
+func (r *reader) flow() ipfix.Flow {
+	var f ipfix.Flow
+	f.Start = time.Unix(0, int64(r.u64())).UTC()
+	f.SrcAddr = netx.Addr(r.u32())
+	f.DstAddr = netx.Addr(r.u32())
+	f.SrcPort = r.u16()
+	f.DstPort = r.u16()
+	f.Protocol = r.u8()
+	f.TCPFlags = r.u8()
+	f.Packets = r.u64()
+	f.Bytes = r.u64()
+	f.Ingress = r.u32()
+	f.Egress = r.u32()
+	return f
+}
+
+// --- message codecs --------------------------------------------------------
+
+func encodeHello(name string) []byte {
+	b := []byte{msgHello}
+	b = appendU32(b, uint32(len(name)))
+	return append(b, name...)
+}
+
+func decodeHello(body []byte) (string, error) {
+	r := &reader{b: body[1:]}
+	name := r.bytes()
+	if err := r.done(); err != nil {
+		return "", err
+	}
+	return string(name), nil
+}
+
+// epochMsg is a routing-state distribution. Full carries the announcement
+// set and member table; a bump (full=false) just advances the epoch
+// sequence — the coordinator sends it when the RIB fingerprint is
+// unchanged, so workers know the table was refreshed without re-shipping
+// or re-compiling anything.
+type epochMsg struct {
+	seq     uint64
+	full    bool
+	members []core.MemberInfo
+	anns    []bgp.Announcement
+}
+
+func encodeEpoch(m epochMsg) []byte {
+	b := []byte{msgEpoch}
+	b = appendU64(b, m.seq)
+	if !m.full {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendU32(b, uint32(len(m.members)))
+	for _, mi := range m.members {
+		b = appendU32(b, uint32(mi.ASN))
+		b = appendU32(b, mi.Port)
+	}
+	b = appendU32(b, uint32(len(m.anns)))
+	for _, a := range m.anns {
+		b = appendU32(b, uint32(a.Prefix.Addr))
+		b = append(b, a.Prefix.Bits)
+		b = appendU16(b, uint16(len(a.Path)))
+		for _, asn := range a.Path {
+			b = appendU32(b, uint32(asn))
+		}
+	}
+	return b
+}
+
+func decodeEpoch(body []byte) (epochMsg, error) {
+	r := &reader{b: body[1:]}
+	var m epochMsg
+	m.seq = r.u64()
+	m.full = r.u8() == 1
+	if !m.full {
+		return m, r.done()
+	}
+	nm := int(r.u32())
+	if r.err == nil && nm*8 > len(r.b) {
+		return m, io.ErrUnexpectedEOF
+	}
+	m.members = make([]core.MemberInfo, 0, nm)
+	for i := 0; i < nm && r.err == nil; i++ {
+		m.members = append(m.members, core.MemberInfo{ASN: bgp.ASN(r.u32()), Port: r.u32()})
+	}
+	na := int(r.u32())
+	if r.err == nil && na*7 > len(r.b) {
+		return m, io.ErrUnexpectedEOF
+	}
+	m.anns = make([]bgp.Announcement, 0, na)
+	for i := 0; i < na && r.err == nil; i++ {
+		var a bgp.Announcement
+		a.Prefix = netx.Prefix{Addr: netx.Addr(r.u32()), Bits: r.u8()}
+		np := int(r.u16())
+		if r.err == nil && np*4 > len(r.b) {
+			return m, io.ErrUnexpectedEOF
+		}
+		a.Path = make([]bgp.ASN, 0, np)
+		for j := 0; j < np && r.err == nil; j++ {
+			a.Path = append(a.Path, bgp.ASN(r.u32()))
+		}
+		if len(a.Path) > 0 {
+			a.Origin = a.Path[len(a.Path)-1]
+		}
+		m.anns = append(m.anns, a)
+	}
+	return m, r.done()
+}
+
+// assignMsg grants a worker ownership of a shard. Cursor is the number of
+// shard flows already incorporated into the carried checkpoint (zero and an
+// empty checkpoint for a fresh shard); the coordinator replays everything
+// past it. Start/bucket configure a fresh shard's aggregator so every shard
+// — and therefore the merged checkpoint — shares one time base.
+type assignMsg struct {
+	shard      uint32
+	cursor     uint64
+	startNanos int64
+	bucket     int64
+	checkpoint []byte
+}
+
+func encodeAssign(m assignMsg) []byte {
+	b := []byte{msgAssign}
+	b = appendU32(b, m.shard)
+	b = appendU64(b, m.cursor)
+	b = appendU64(b, uint64(m.startNanos))
+	b = appendU64(b, uint64(m.bucket))
+	b = appendU32(b, uint32(len(m.checkpoint)))
+	return append(b, m.checkpoint...)
+}
+
+func decodeAssign(body []byte) (assignMsg, error) {
+	r := &reader{b: body[1:]}
+	var m assignMsg
+	m.shard = r.u32()
+	m.cursor = r.u64()
+	m.startNanos = int64(r.u64())
+	m.bucket = int64(r.u64())
+	m.checkpoint = append([]byte(nil), r.bytes()...)
+	return m, r.done()
+}
+
+func encodeShardOnly(typ byte, shard uint32) []byte {
+	return appendU32([]byte{typ}, shard)
+}
+
+func decodeShardOnly(body []byte) (uint32, error) {
+	r := &reader{b: body[1:]}
+	shard := r.u32()
+	return shard, r.done()
+}
+
+// flowsMsg carries a batch of flows for one shard. Base is the stream
+// position of the first flow — the worker checks it against its own cursor,
+// so a dropped or replayed batch is detected immediately instead of
+// corrupting the count.
+type flowsMsg struct {
+	shard uint32
+	base  uint64
+	flows []ipfix.Flow
+}
+
+func encodeFlows(m flowsMsg) []byte {
+	b := make([]byte, 0, 1+4+8+4+len(m.flows)*flowWireLen)
+	b = append(b, msgFlows)
+	b = appendU32(b, m.shard)
+	b = appendU64(b, m.base)
+	b = appendU32(b, uint32(len(m.flows)))
+	for _, f := range m.flows {
+		b = appendFlow(b, f)
+	}
+	return b
+}
+
+func decodeFlows(body []byte) (flowsMsg, error) {
+	r := &reader{b: body[1:]}
+	var m flowsMsg
+	m.shard = r.u32()
+	m.base = r.u64()
+	n := int(r.u32())
+	if r.err == nil && n*flowWireLen != len(r.b) {
+		return m, fmt.Errorf("cluster: flow batch length mismatch: %d flows, %d bytes", n, len(r.b))
+	}
+	m.flows = make([]ipfix.Flow, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.flows = append(m.flows, r.flow())
+	}
+	return m, r.done()
+}
+
+// reportMsg is a worker's quiescent shard checkpoint. Cursor is the shard
+// stream position the checkpoint incorporates (== its Processed count);
+// final marks the drain report that completes a Revoke.
+type reportMsg struct {
+	shard      uint32
+	final      bool
+	cursor     uint64
+	checkpoint []byte
+}
+
+func encodeReport(m reportMsg) []byte {
+	b := []byte{msgReport}
+	b = appendU32(b, m.shard)
+	if m.final {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU64(b, m.cursor)
+	b = appendU32(b, uint32(len(m.checkpoint)))
+	return append(b, m.checkpoint...)
+}
+
+func decodeReport(body []byte) (reportMsg, error) {
+	r := &reader{b: body[1:]}
+	var m reportMsg
+	m.shard = r.u32()
+	m.final = r.u8() == 1
+	m.cursor = r.u64()
+	m.checkpoint = append([]byte(nil), r.bytes()...)
+	return m, r.done()
+}
+
+var heartbeatFrame = []byte{msgHeartbeat}

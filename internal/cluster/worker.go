@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spoofscope/internal/bgp"
+	"spoofscope/internal/core"
+	"spoofscope/internal/obs"
+	"spoofscope/internal/retry"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker in journals and metrics.
+	Name string
+	// Dial opens a connection to the coordinator; the worker redials it
+	// with capped, jittered backoff after every link failure.
+	Dial func() (net.Conn, error)
+	// Opts configures local pipeline compilation. Every worker (and any
+	// single-process reference run) must use the same options, or shards
+	// would classify under different topologies.
+	Opts core.Options
+	// Queue bounds each shard runtime's ingest queue (default capacity
+	// applies; sheds never fire because the worker feeds with
+	// backpressure).
+	Queue core.QueueConfig
+	// DrainWorkers is the RunParallel consumer count per shard (default:
+	// GOMAXPROCS via the runtime's own clamp).
+	DrainWorkers int
+	// HeartbeatInterval and HeartbeatMisses mirror the coordinator's
+	// liveness settings (defaults 500ms and 3).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// MaxAttempts caps consecutive failed dials before Run gives up
+	// (0 = retry forever). A successful session resets the budget.
+	MaxAttempts int
+	// InitialBackoff, MaxBackoff, Jitter, and Seed shape the redial
+	// schedule (see retry.New; zero values take the shared defaults).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	Jitter         float64
+	Seed           int64
+	// Telemetry, when non-nil, registers worker metrics and journal events.
+	Telemetry *obs.Telemetry
+}
+
+func (c *WorkerConfig) interval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.HeartbeatInterval
+}
+
+func (c *WorkerConfig) misses() int {
+	if c.HeartbeatMisses <= 0 {
+		return 3
+	}
+	return c.HeartbeatMisses
+}
+
+func (c *WorkerConfig) deadline() time.Duration {
+	return c.interval() * time.Duration(c.misses())
+}
+
+// workerShard is one owned shard: a full single-process runtime draining
+// its slice of the traffic.
+type workerShard struct {
+	id     uint32
+	rt     *core.Runtime
+	cursor uint64 // absolute shard-stream position ingested so far
+	drain  chan struct{}
+}
+
+// Worker owns shards assigned by a coordinator and reports their
+// checkpoints. One Worker runs one link at a time; after a link failure it
+// discards all local shard state (the coordinator reassigns from the last
+// durable report — local progress past it was never acknowledged and must
+// not survive, or a handoff could double-count) and redials.
+type Worker struct {
+	cfg     WorkerConfig
+	backoff *retry.Backoff
+
+	mu       sync.Mutex
+	shards   map[uint32]*workerShard
+	pipeline *core.Pipeline
+	epochSeq uint64
+
+	reconnects uint64
+	giveUps    uint64
+	reports    uint64
+	flowsIn    uint64
+}
+
+// NewWorker validates the configuration and registers telemetry.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("cluster: WorkerConfig.Dial is required")
+	}
+	w := &Worker{
+		cfg:     cfg,
+		backoff: retry.New(cfg.InitialBackoff, cfg.MaxBackoff, cfg.Jitter, cfg.Seed),
+		shards:  make(map[uint32]*workerShard),
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		w.instrument(tel)
+	}
+	return w, nil
+}
+
+func (w *Worker) instrument(tel *obs.Telemetry) {
+	m := tel.Metrics
+	name := obs.Label{Name: "worker", Value: w.label()}
+	locked := func(fn func() uint64) func() uint64 {
+		return func() uint64 { w.mu.Lock(); defer w.mu.Unlock(); return fn() }
+	}
+	m.CounterFunc("spoofscope_cluster_worker_reconnects_total",
+		"Dial attempts after a lost coordinator link.",
+		locked(func() uint64 { return w.reconnects }), name)
+	m.CounterFunc("spoofscope_cluster_worker_giveups_total",
+		"Terminal exits: the redial budget was exhausted.",
+		locked(func() uint64 { return w.giveUps }), name)
+	m.CounterFunc("spoofscope_cluster_worker_reports_total",
+		"Quiescent shard checkpoints sent to the coordinator.",
+		locked(func() uint64 { return w.reports }), name)
+	m.CounterFunc("spoofscope_cluster_worker_flows_total",
+		"Flows ingested into local shard runtimes.",
+		locked(func() uint64 { return w.flowsIn }), name)
+	m.GaugeFunc("spoofscope_cluster_worker_shards",
+		"Shards currently owned.",
+		func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(len(w.shards)) }, name)
+}
+
+func (w *Worker) label() string {
+	if w.cfg.Name != "" {
+		return w.cfg.Name
+	}
+	return "worker"
+}
+
+// Run dials, serves, and redials until the context is cancelled or the
+// attempt budget is exhausted. The error is nil only on context
+// cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		conn, err := w.cfg.Dial()
+		if err != nil {
+			attempt++
+			if w.cfg.MaxAttempts > 0 && attempt >= w.cfg.MaxAttempts {
+				w.mu.Lock()
+				w.giveUps++
+				w.mu.Unlock()
+				w.cfg.Telemetry.Recordf(obs.EventWorkerDead,
+					"%s giving up after %d dial attempts: %v", w.label(), attempt, err)
+				return fmt.Errorf("cluster: %s: redial budget exhausted: %w", w.label(), err)
+			}
+			d := w.backoff.Next(attempt)
+			w.mu.Lock()
+			w.reconnects++
+			w.mu.Unlock()
+			w.cfg.Telemetry.Recordf(obs.EventWorkerReconnect,
+				"%s dial failed (attempt %d, retry in %v): %v", w.label(), attempt, d, err)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(d):
+			}
+			continue
+		}
+		attempt = 0
+		err = w.session(ctx, conn)
+		w.teardown()
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.cfg.Telemetry.Recordf(obs.EventWorkerReconnect,
+			"%s session ended: %v; redialing", w.label(), err)
+	}
+}
+
+// session serves one coordinator link until it fails.
+func (w *Worker) session(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make(chan []byte, outboundDepth)
+	writeErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case frame := <-out:
+				if err := conn.SetWriteDeadline(time.Now().Add(w.cfg.deadline())); err != nil {
+					writeErr <- err
+					return
+				}
+				if err := writeFrame(conn, frame); err != nil {
+					writeErr <- err
+					return
+				}
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+	send := func(frame []byte) bool {
+		select {
+		case out <- frame:
+			return true
+		case <-sctx.Done():
+			return false
+		}
+	}
+
+	if !send(encodeHello(w.label())) {
+		return errors.New("cluster: session cancelled")
+	}
+
+	// Heartbeats keep the coordinator's read deadline fed.
+	go func() {
+		t := time.NewTicker(w.cfg.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				select {
+				case out <- heartbeatFrame:
+				default:
+				}
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+
+	// The reporter serializes quiescent checkpoint reports off the read
+	// loop, so a slow drain never starves heartbeat reads.
+	type reportReq struct {
+		shard uint32
+		final bool
+	}
+	reportc := make(chan reportReq, 64)
+	go func() {
+		for {
+			select {
+			case r := <-reportc:
+				w.report(sctx, r.shard, r.final, send)
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case err := <-writeErr:
+			return err
+		default:
+		}
+		body, err := readFrame(conn, time.Now().Add(w.cfg.deadline()))
+		if err != nil {
+			return err
+		}
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case msgHeartbeat:
+		case msgEpoch:
+			m, err := decodeEpoch(body)
+			if err != nil {
+				return err
+			}
+			if err := w.applyEpoch(m); err != nil {
+				return err
+			}
+		case msgAssign:
+			m, err := decodeAssign(body)
+			if err != nil {
+				return err
+			}
+			if err := w.applyAssign(sctx, m); err != nil {
+				return err
+			}
+		case msgFlows:
+			m, err := decodeFlows(body)
+			if err != nil {
+				return err
+			}
+			if err := w.applyFlows(m); err != nil {
+				return err
+			}
+		case msgReportReq:
+			shard, err := decodeShardOnly(body)
+			if err != nil {
+				return err
+			}
+			select {
+			case reportc <- reportReq{shard: shard}:
+			default:
+				// A full report queue means one is already pending for
+				// this link; dropping the request is safe — the
+				// coordinator re-asks.
+			}
+		case msgRevoke:
+			shard, err := decodeShardOnly(body)
+			if err != nil {
+				return err
+			}
+			w.cfg.Telemetry.Recordf(obs.EventShardRevoke, "%s draining shard %d", w.label(), shard)
+			select {
+			case reportc <- reportReq{shard: shard, final: true}:
+			case <-sctx.Done():
+				return errors.New("cluster: session cancelled")
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected message type %d", body[0])
+		}
+	}
+}
+
+// applyEpoch compiles a distributed routing snapshot. A bump (no payload)
+// just advances the sequence; a full epoch rebuilds the RIB and recompiles
+// the pipeline, reusing layers the previous pipeline's fingerprint still
+// covers, then swaps it into every owned shard runtime.
+func (w *Worker) applyEpoch(m epochMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.epochSeq = m.seq
+	if !m.full {
+		return nil
+	}
+	rib := bgp.NewRIB()
+	for _, a := range m.anns {
+		rib.AddAnnouncement(a.Prefix, a.Path)
+	}
+	p, _, err := core.RebuildPipeline(w.pipeline, rib, m.members, w.cfg.Opts)
+	if err != nil {
+		return fmt.Errorf("cluster: compiling epoch %d: %w", m.seq, err)
+	}
+	w.pipeline = p
+	for _, s := range w.shards {
+		s.rt.Swap(p)
+	}
+	w.cfg.Telemetry.Recordf(obs.EventClusterEpoch,
+		"%s compiled epoch %d (%d announcements)", w.label(), m.seq, len(m.anns))
+	return nil
+}
+
+func (w *Worker) applyAssign(sctx context.Context, m assignMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.shards[m.shard]; ok {
+		return fmt.Errorf("cluster: shard %d assigned twice", m.shard)
+	}
+	rcfg := core.RuntimeConfig{
+		Pipeline: w.pipeline,
+		Start:    time.Unix(0, m.startNanos).UTC(),
+		Bucket:   time.Duration(m.bucket),
+		Queue:    w.cfg.Queue,
+	}
+	if len(m.checkpoint) > 0 {
+		cp, err := core.DecodeCheckpoint(bytes.NewReader(m.checkpoint))
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d resume checkpoint: %w", m.shard, err)
+		}
+		if cp.Processed != m.cursor {
+			return fmt.Errorf("cluster: shard %d cursor %d disagrees with checkpoint %d",
+				m.shard, m.cursor, cp.Processed)
+		}
+		rcfg.Resume = cp
+	} else if m.cursor != 0 {
+		return fmt.Errorf("cluster: shard %d fresh assign at nonzero cursor %d", m.shard, m.cursor)
+	}
+	rt, err := core.NewRuntime(rcfg)
+	if err != nil {
+		return fmt.Errorf("cluster: shard %d runtime: %w", m.shard, err)
+	}
+	s := &workerShard{id: m.shard, rt: rt, cursor: m.cursor, drain: make(chan struct{})}
+	w.shards[m.shard] = s
+	workers := w.cfg.DrainWorkers
+	go func() {
+		defer close(s.drain)
+		s.rt.RunParallel(sctx, workers, nil)
+	}()
+	w.cfg.Telemetry.Recordf(obs.EventShardAssign,
+		"%s owns shard %d from cursor %d", w.label(), m.shard, m.cursor)
+	return nil
+}
+
+func (w *Worker) applyFlows(m flowsMsg) error {
+	w.mu.Lock()
+	s, ok := w.shards[m.shard]
+	if !ok {
+		w.mu.Unlock()
+		return fmt.Errorf("cluster: flows for unowned shard %d", m.shard)
+	}
+	if s.cursor != m.base {
+		w.mu.Unlock()
+		return fmt.Errorf("cluster: shard %d stream position %d, batch base %d",
+			m.shard, s.cursor, m.base)
+	}
+	s.cursor += uint64(len(m.flows))
+	w.flowsIn += uint64(len(m.flows))
+	w.mu.Unlock()
+	// IngestWait applies backpressure outside the lock: a full queue slows
+	// the link read loop, which slows the coordinator — never drops.
+	for _, f := range m.flows {
+		if !s.rt.IngestWait(f) {
+			return fmt.Errorf("cluster: shard %d runtime closed mid-ingest", m.shard)
+		}
+	}
+	return nil
+}
+
+// report sends a quiescent checkpoint for one shard, retrying until the
+// drain catches up. Non-final reports give up quietly after a bounded wait
+// (the coordinator re-asks); a final report — the revoke drain — keeps
+// trying until the session dies, because the coordinator has stopped the
+// shard's stream and is waiting on it.
+func (w *Worker) report(sctx context.Context, shard uint32, final bool, send func([]byte) bool) {
+	deadline := time.Now().Add(w.cfg.deadline())
+	for {
+		if sctx.Err() != nil {
+			return
+		}
+		w.mu.Lock()
+		s, ok := w.shards[shard]
+		w.mu.Unlock()
+		if !ok {
+			return
+		}
+		w.mu.Lock()
+		c1 := s.cursor
+		w.mu.Unlock()
+		var buf bytes.Buffer
+		err := s.rt.WriteCheckpoint(&buf)
+		w.mu.Lock()
+		c2 := s.cursor
+		w.mu.Unlock()
+		if err == nil && c1 == c2 {
+			// Quiescent at a pinned cursor: the checkpoint incorporates
+			// exactly c1 flows of the shard stream.
+			if !send(encodeReport(reportMsg{shard: shard, final: final, cursor: c1, checkpoint: buf.Bytes()})) {
+				return
+			}
+			w.mu.Lock()
+			w.reports++
+			if final {
+				delete(w.shards, shard)
+			}
+			w.mu.Unlock()
+			if final {
+				s.rt.Close()
+				<-s.drain
+			}
+			return
+		}
+		if !final && time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// teardown discards every shard after a session loss. Unreported progress
+// is intentionally dropped: only durable reports count, and the
+// coordinator replays everything past them to the next owner.
+func (w *Worker) teardown() {
+	w.mu.Lock()
+	shards := w.shards
+	w.shards = make(map[uint32]*workerShard)
+	w.mu.Unlock()
+	for _, s := range shards {
+		s.rt.Close()
+		<-s.drain
+	}
+}

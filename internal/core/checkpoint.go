@@ -140,11 +140,26 @@ func (r *cpReader) counter() Counter {
 // decoder allocates for it — a corrupt count must not demand gigabytes.
 func (r *cpReader) count(what string) int {
 	n := r.u32()
-	const maxCount = 1 << 28
+	const maxCount = 1 << 26
 	if n > maxCount && r.err == nil {
 		r.err = fmt.Errorf("core: checkpoint %s count %d exceeds sanity cap", what, n)
 	}
 	return int(n)
+}
+
+// preallocCap clamps the capacity hint the decoder passes to make() for a
+// declared element count. Real inputs get their exact size; an adversarial
+// count below the sanity cap but far beyond the actual input gets a small
+// buffer that grows only as elements actually decode — every element read
+// consumes input bytes and sets r.err at EOF, so decoder memory stays
+// proportional to input length, never to a forged count.
+const maxPrealloc = 4096
+
+func preallocCap(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
 }
 
 func sortedClasses[V any](m map[TrafficClass]V) []TrafficClass {
@@ -389,7 +404,7 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 		}
 		m.RouterIPInvalid = r.u64()
 		nOrigins := r.count("origin")
-		m.InvalidOrigins = make(map[bgp.ASN]uint64, nOrigins)
+		m.InvalidOrigins = make(map[bgp.ASN]uint64, preallocCap(nOrigins))
 		for j := 0; j < nOrigins && r.err == nil; j++ {
 			o := bgp.ASN(r.u32())
 			m.InvalidOrigins[o] = r.u64()
@@ -401,9 +416,9 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 	for i := 0; i < nSeries && r.err == nil; i++ {
 		c := TrafficClass(r.u32())
 		n := r.count("series bucket")
-		s := make([]uint64, n)
-		for j := range s {
-			s[j] = r.u64()
+		s := make([]uint64, 0, preallocCap(n))
+		for j := 0; j < n && r.err == nil; j++ {
+			s = append(s, r.u64())
 		}
 		a.Series[c] = s
 	}
@@ -412,7 +427,7 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 	for i := 0; i < nHists && r.err == nil; i++ {
 		c := TrafficClass(r.u32())
 		n := r.count("size bin")
-		h := make(map[int]uint64, n)
+		h := make(map[int]uint64, preallocCap(n))
 		for j := 0; j < n && r.err == nil; j++ {
 			size := int(r.i64())
 			h[size] = r.u64()
@@ -449,12 +464,12 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 	for i := 0; i < nFanIn && r.err == nil; i++ {
 		c := TrafficClass(r.u32())
 		nDst := r.count("fan-in destination")
-		m := make(map[netx.Addr]*DstStats, nDst)
+		m := make(map[netx.Addr]*DstStats, preallocCap(nDst))
 		for j := 0; j < nDst && r.err == nil; j++ {
 			dst := netx.Addr(r.u32())
 			ds := &DstStats{Packets: r.u64(), SrcOverflow: r.u64()}
 			nSrc := r.count("fan-in source")
-			ds.Srcs = make(map[netx.Addr]struct{}, nSrc)
+			ds.Srcs = make(map[netx.Addr]struct{}, preallocCap(nSrc))
 			for k := 0; k < nSrc && r.err == nil; k++ {
 				ds.Srcs[netx.Addr(r.u32())] = struct{}{}
 			}
@@ -468,7 +483,7 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 		for i := 0; i < n && r.err == nil; i++ {
 			outer := netx.Addr(r.u32())
 			nInner := r.count("pair entry")
-			inner := make(map[netx.Addr]uint64, nInner)
+			inner := make(map[netx.Addr]uint64, preallocCap(nInner))
 			for j := 0; j < nInner && r.err == nil; j++ {
 				in := netx.Addr(r.u32())
 				inner[in] = r.u64()
@@ -483,9 +498,9 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 		if n == 0 {
 			return nil
 		}
-		s := make([]Counter, n)
-		for i := range s {
-			s[i] = r.counter()
+		s := make([]Counter, 0, preallocCap(n))
+		for i := 0; i < n && r.err == nil; i++ {
+			s = append(s, r.counter())
 		}
 		return s
 	}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -304,9 +305,15 @@ func (rt *Runtime) Run(ctx context.Context, fn func(ipfix.Flow, LiveVerdict) boo
 // them until the queue drains, then reports false.
 func (rt *Runtime) Close() { rt.queue.Close() }
 
-// errNotQuiescent reports a checkpoint attempt against a non-empty queue;
-// the periodic path treats it as "retry at the next Step", not a failure.
-var errNotQuiescent = errors.New("core: checkpoint requires a drained queue")
+// ErrNotQuiescent reports a checkpoint attempt while flows are still in
+// flight — queued, or popped into a parallel worker's unmerged batch. The
+// periodic path treats it as "retry at the next barrier", not a failure;
+// external callers (the cluster worker's shard reports) poll until the
+// drain settles.
+var ErrNotQuiescent = errors.New("core: checkpoint requires a drained queue")
+
+// errNotQuiescent is the historical internal alias.
+var errNotQuiescent = ErrNotQuiescent
 
 // Checkpoint forces a snapshot now. The queue must be empty (quiescent),
 // otherwise the replay cursor would not uniquely position a resume.
@@ -331,23 +338,9 @@ func (rt *Runtime) Checkpoint() error {
 // (CheckpointErrors, LastCheckpointError) so a persistent one cannot
 // silently disable crash-safety.
 func (rt *Runtime) checkpointLocked() error {
-	qs := rt.queue.Stats()
-	if qs.Depth != 0 {
-		return fmt.Errorf("%w (%d flows pending)", errNotQuiescent, qs.Depth)
-	}
-	if rt.merged != qs.Queued {
-		return fmt.Errorf("%w (%d flows in worker batches)", errNotQuiescent, qs.Queued-rt.merged)
-	}
-	cp := &Checkpoint{
-		Ingested:      qs.Ingested,
-		Queued:        qs.Queued,
-		Shed:          qs.Shed,
-		Processed:     rt.merged,
-		Epoch:         rt.currentEpoch(),
-		Swaps:         rt.swaps.Load(),
-		StaleVerdicts: rt.stale.Load(),
-		Degraded:      rt.degraded.Load(),
-		Agg:           rt.agg,
+	cp, err := rt.snapshotLocked()
+	if err != nil {
+		return err
 	}
 	if err := WriteCheckpointFile(rt.cfg.CheckpointPath, cp); err != nil {
 		rt.ckptErrors++
@@ -362,6 +355,46 @@ func (rt *Runtime) checkpointLocked() error {
 	rt.journal.Recordf(obs.EventCheckpoint, "wrote %s at %d flows (epoch %d)",
 		rt.cfg.CheckpointPath, cp.Processed, cp.Epoch)
 	return nil
+}
+
+// snapshotLocked assembles the quiescent Checkpoint under rt.mu, or fails
+// with ErrNotQuiescent. The returned checkpoint aliases the live aggregate;
+// it is only safe to read while rt.mu is held (or while no consumer runs).
+func (rt *Runtime) snapshotLocked() (*Checkpoint, error) {
+	qs := rt.queue.Stats()
+	if qs.Depth != 0 {
+		return nil, fmt.Errorf("%w (%d flows pending)", ErrNotQuiescent, qs.Depth)
+	}
+	if rt.merged != qs.Queued {
+		return nil, fmt.Errorf("%w (%d flows in worker batches)", ErrNotQuiescent, qs.Queued-rt.merged)
+	}
+	return &Checkpoint{
+		Ingested:      qs.Ingested,
+		Queued:        qs.Queued,
+		Shed:          qs.Shed,
+		Processed:     rt.merged,
+		Epoch:         rt.currentEpoch(),
+		Swaps:         rt.swaps.Load(),
+		StaleVerdicts: rt.stale.Load(),
+		Degraded:      rt.degraded.Load(),
+		Agg:           rt.agg,
+	}, nil
+}
+
+// WriteCheckpoint encodes a quiescent snapshot of the runtime to w using
+// the versioned checkpoint codec, without requiring a configured checkpoint
+// path — the cluster worker's shard-report path, where snapshots ship over
+// a link instead of landing on disk. The encode happens under the runtime
+// lock, so parallel workers cannot merge mid-encode; it fails with
+// ErrNotQuiescent while any flow is still in flight.
+func (rt *Runtime) WriteCheckpoint(w io.Writer) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	cp, err := rt.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	return EncodeCheckpoint(w, cp)
 }
 
 func (rt *Runtime) currentEpoch() Epoch {

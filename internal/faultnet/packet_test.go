@@ -1,0 +1,175 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// scriptedPacketConn is an in-memory net.PacketConn that delivers a fixed
+// sequence of datagrams, then a timeout — the inner socket for wrapper tests.
+type scriptedPacketConn struct {
+	datagrams [][]byte
+	next      int
+	addr      net.Addr
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "scripted: out of datagrams" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func (s *scriptedPacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	if s.next >= len(s.datagrams) {
+		return 0, nil, timeoutErr{}
+	}
+	n := copy(b, s.datagrams[s.next])
+	s.next++
+	return n, s.addr, nil
+}
+
+func (s *scriptedPacketConn) WriteTo(b []byte, addr net.Addr) (int, error) { return len(b), nil }
+func (s *scriptedPacketConn) Close() error                                 { return nil }
+func (s *scriptedPacketConn) LocalAddr() net.Addr                          { return s.addr }
+func (s *scriptedPacketConn) SetDeadline(time.Time) error                  { return nil }
+func (s *scriptedPacketConn) SetReadDeadline(time.Time) error              { return nil }
+func (s *scriptedPacketConn) SetWriteDeadline(time.Time) error             { return nil }
+
+func scripted(n int) *scriptedPacketConn {
+	s := &scriptedPacketConn{addr: &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}}
+	for i := 0; i < n; i++ {
+		s.datagrams = append(s.datagrams, []byte{byte(i), 0xa0, 0xb0, 0xc0, 0xd0, 0xe0})
+	}
+	return s
+}
+
+// delivery records one datagram as the reader saw it.
+type delivery struct {
+	payload []byte
+	addr    net.Addr
+}
+
+func drainPacket(t *testing.T, p *PacketConn) []delivery {
+	t.Helper()
+	var out []delivery
+	buf := make([]byte, 64)
+	for {
+		n, addr, err := p.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return out
+			}
+			t.Fatalf("ReadFrom: %v", err)
+		}
+		out = append(out, delivery{payload: append([]byte(nil), buf[:n]...), addr: addr})
+	}
+}
+
+// TestPacketConnSchedule mirrors the wrapper's count-keyed schedule in plain
+// code and checks every delivery against it: drops vanish, corruption flips
+// exactly one of the first four bytes, duplicates replay the (possibly
+// corrupted) datagram once without advancing the receive index.
+func TestPacketConnSchedule(t *testing.T) {
+	const total = 20
+	cfg := PacketConfig{Seed: 1, DropEvery: 4, DuplicateEvery: 5, CorruptEvery: 3}
+	p := WrapPacket(scripted(total), cfg)
+	got := drainPacket(t, p)
+
+	// Mirror the schedule: for each 1-based receive index, decide its fate.
+	var wantDrops, wantDups, wantCorrupts int
+	type expect struct {
+		orig      int // datagram index (first payload byte)
+		corrupted bool
+		replay    bool
+	}
+	var want []expect
+	for nth := 1; nth <= total; nth++ {
+		if nth%cfg.DropEvery == 0 {
+			wantDrops++
+			continue
+		}
+		corrupted := nth%cfg.CorruptEvery == 0
+		if corrupted {
+			wantCorrupts++
+		}
+		want = append(want, expect{orig: nth - 1, corrupted: corrupted})
+		if nth%cfg.DuplicateEvery == 0 {
+			wantDups++
+			want = append(want, expect{orig: nth - 1, corrupted: corrupted, replay: true})
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("deliveries = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		d := got[i]
+		if d.payload[0] != byte(w.orig) && !w.corrupted {
+			t.Fatalf("delivery %d: datagram %d, want %d", i, d.payload[0], w.orig)
+		}
+		clean := []byte{byte(w.orig), 0xa0, 0xb0, 0xc0, 0xd0, 0xe0}
+		diff := 0
+		for j := range clean {
+			if d.payload[j] != clean[j] {
+				if j >= 4 || d.payload[j] != clean[j]^0xff {
+					t.Fatalf("delivery %d: byte %d is %#x, not an XOR-flip in the header region", i, j, d.payload[j])
+				}
+				diff++
+			}
+		}
+		if w.corrupted && diff != 1 {
+			t.Fatalf("delivery %d: corrupted datagram has %d flipped bytes, want 1", i, diff)
+		}
+		if !w.corrupted && diff != 0 {
+			t.Fatalf("delivery %d: clean datagram has %d flipped bytes", i, diff)
+		}
+		if w.replay && !bytes.Equal(d.payload, got[i-1].payload) {
+			t.Fatalf("delivery %d: duplicate differs from the original delivery", i)
+		}
+		if d.addr == nil {
+			t.Fatalf("delivery %d: lost the source address", i)
+		}
+	}
+
+	st := p.Stats()
+	if st.Datagrams != total || st.Dropped != wantDrops || st.Duplicated != wantDups || st.Corrupted != wantCorrupts {
+		t.Fatalf("stats = %+v, want {Datagrams:%d Dropped:%d Duplicated:%d Corrupted:%d}",
+			st, total, wantDrops, wantDups, wantCorrupts)
+	}
+}
+
+// TestPacketConnDeterministic proves equal seeds and equal datagram
+// sequences produce byte-identical fault schedules — the property chaos
+// tests rely on to compute expectations offline.
+func TestPacketConnDeterministic(t *testing.T) {
+	cfg := PacketConfig{Seed: 42, DropEvery: 3, DuplicateEvery: 7, CorruptEvery: 2}
+	a := drainPacket(t, WrapPacket(scripted(30), cfg))
+	b := drainPacket(t, WrapPacket(scripted(30), cfg))
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].payload, b[i].payload) {
+			t.Fatalf("delivery %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+// TestPacketConnPassthrough checks the no-fault configuration is invisible.
+func TestPacketConnPassthrough(t *testing.T) {
+	p := WrapPacket(scripted(5), PacketConfig{})
+	got := drainPacket(t, p)
+	if len(got) != 5 {
+		t.Fatalf("deliveries = %d, want 5", len(got))
+	}
+	for i, d := range got {
+		if d.payload[0] != byte(i) {
+			t.Fatalf("delivery %d out of order", i)
+		}
+	}
+	if st := p.Stats(); st.Dropped+st.Duplicated+st.Corrupted != 0 {
+		t.Fatalf("faults injected with an empty schedule: %+v", st)
+	}
+}

@@ -304,3 +304,100 @@ func TestUDPCollectorShutdownVsClose(t *testing.T) {
 		t.Fatal("Serve still blocked after Close")
 	}
 }
+
+// TestUDPCollectorSurvivesDatagramFaults is the UDP mirror of
+// TestServeManyConnectionsSurviveFaults: the collector's socket is wrapped
+// in a seeded faultnet.PacketConn that drops, duplicates, and corrupts
+// datagrams on receive. Because the schedule is count-keyed and the
+// exporter emits exactly one datagram per flow (after the template), the
+// test mirrors the schedule in plain code and predicts the fate of every
+// flow: dropped and corrupted datagrams vanish or count as malformed,
+// duplicated ones deliver their flow twice, everything else arrives once.
+func TestUDPCollectorSurvivesDatagramFaults(t *testing.T) {
+	const (
+		nFlows  = 40
+		dropN   = 7
+		corrupt = 5
+		dupN    = 9
+	)
+
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faultnet.WrapPacket(inner, faultnet.PacketConfig{
+		Seed: 17, DropEvery: dropN, DuplicateEvery: dupN, CorruptEvery: corrupt,
+	})
+	col := NewUDPCollector(fc)
+	defer col.Close()
+
+	exp, err := DialUDP(inner.LocalAddr().String(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Pin the template to datagram 1 only, so data datagrams map 1:1 to
+	// flows: flow i rides datagram i+2 (1-based).
+	exp.TemplateEvery = 1 << 30
+	for i := 0; i < nFlows; i++ {
+		if err := exp.Export(t0, []Flow{sampleFlow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	counts := map[uint16]int{}
+	malformed, err := col.Serve(time.Now().Add(time.Second), func(f Flow) {
+		counts[f.SrcPort]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror the wrapper's schedule: drop wins, then corruption, then
+	// duplication (a duplicated corrupt datagram would be malformed twice).
+	const total = nFlows + 1 // datagram 1 is the template
+	if 1%dropN == 0 || 1%corrupt == 0 {
+		t.Fatal("schedule must leave the template datagram intact")
+	}
+	wantCounts := map[uint16]int{}
+	wantMalformed := 0
+	for nth := 2; nth <= total; nth++ {
+		if nth%dropN == 0 {
+			continue
+		}
+		deliveries := 1
+		if nth%dupN == 0 {
+			deliveries = 2
+		}
+		if nth%corrupt == 0 {
+			wantMalformed += deliveries
+			continue
+		}
+		wantCounts[sampleFlow(nth-2).SrcPort] += deliveries
+	}
+
+	if malformed != wantMalformed {
+		t.Fatalf("malformed = %d, want %d", malformed, wantMalformed)
+	}
+	for port, want := range wantCounts {
+		if counts[port] != want {
+			t.Fatalf("flow %d delivered %d times, want %d", port, counts[port], want)
+		}
+	}
+	for port := range counts {
+		if _, ok := wantCounts[port]; !ok {
+			t.Fatalf("flow %d delivered despite a dropped or corrupted datagram", port)
+		}
+	}
+
+	st := fc.Stats()
+	if st.Datagrams != total {
+		t.Fatalf("wrapper saw %d datagrams, want %d", st.Datagrams, total)
+	}
+	if st.Corrupted == 0 || st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("schedule injected nothing: %+v", st)
+	}
+	if cs := col.Stats(); cs.Malformed != wantMalformed {
+		t.Fatalf("stats.Malformed = %d, want %d", cs.Malformed, wantMalformed)
+	}
+}

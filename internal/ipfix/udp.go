@@ -57,15 +57,22 @@ func (e *UDPExporter) Export(exportTime time.Time, flows []Flow) error {
 // Close closes the underlying socket.
 func (e *UDPExporter) Close() error { return e.conn.Close() }
 
-// UDPCollector receives IPFIX messages on a UDP socket and hands decoded
-// flows to a callback.
+// UDPCollector receives IPFIX messages on a datagram socket and hands
+// decoded flows to a callback.
 type UDPCollector struct {
-	conn *net.UDPConn
+	conn net.PacketConn
 	dec  *Decoder
 
 	mu     sync.Mutex
 	closed bool
 	stats  CollectorStats
+}
+
+// NewUDPCollector wraps an already-bound datagram socket — the hook for
+// fault injection (faultnet.WrapPacket) and custom transports, mirroring
+// NewTCPExporter on the send side. ListenUDP is the common path.
+func NewUDPCollector(pc net.PacketConn) *UDPCollector {
+	return &UDPCollector{conn: pc, dec: NewDecoder()}
 }
 
 // ListenUDP binds a collector to addr. Use port 0 for an ephemeral port and
@@ -79,7 +86,7 @@ func ListenUDP(addr string) (*UDPCollector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipfix: listening on %q: %w", addr, err)
 	}
-	return &UDPCollector{conn: conn, dec: NewDecoder()}, nil
+	return NewUDPCollector(conn), nil
 }
 
 // Addr returns the bound address.
@@ -97,7 +104,7 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 	buf := make([]byte, 65536)
 	var flows []Flow
 	for {
-		n, _, err := c.conn.ReadFromUDP(buf)
+		n, _, err := c.conn.ReadFrom(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				return malformed, nil

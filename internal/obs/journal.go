@@ -24,6 +24,20 @@ const (
 	EventBGPFlap         = "bgp-flap"
 	EventBGPGiveUp       = "bgp-giveup"
 	EventCollectorError  = "collector-error"
+
+	// Cluster-mode lifecycle: shard ownership and worker liveness.
+	EventShardAssign         = "shard-assign"
+	EventShardHandoff        = "shard-handoff"
+	EventShardRevoke         = "shard-revoke"
+	EventWorkerJoin          = "worker-join"
+	EventWorkerDead          = "worker-dead"
+	EventHeartbeatMiss       = "heartbeat-miss"
+	EventClusterRebalance    = "cluster-rebalance"
+	EventClusterEpoch        = "cluster-epoch"
+	EventClusterDegraded     = "cluster-degraded"
+	EventClusterRecovered    = "cluster-recovered"
+	EventWorkerReconnect     = "worker-reconnect"
+	EventStaleReportRejected = "stale-report-rejected"
 )
 
 // Event is one structured journal entry.

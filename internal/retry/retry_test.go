@@ -1,0 +1,58 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextDoublesAndCaps(t *testing.T) {
+	b := New(100*time.Millisecond, 800*time.Millisecond, -1, 1)
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if d := b.Next(i + 1); d != w {
+			t.Errorf("Next(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestJitterStaysInBand(t *testing.T) {
+	b := New(100*time.Millisecond, time.Second, 0.2, 7)
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := b.Next(attempt)
+		base := 100 * time.Millisecond
+		for i := 1; i < attempt && base < time.Second; i++ {
+			base *= 2
+		}
+		if base > time.Second {
+			base = time.Second
+		}
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Errorf("Next(%d) = %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+}
+
+func TestSeededSchedulesReproduce(t *testing.T) {
+	a := New(0, 0, 0, 42)
+	b := New(0, 0, 0, 42)
+	for attempt := 1; attempt <= 10; attempt++ {
+		if da, db := a.Next(attempt), b.Next(attempt); da != db {
+			t.Fatalf("attempt %d: %v != %v under equal seeds", attempt, da, db)
+		}
+	}
+}
+
+func TestFloorIsOneMillisecond(t *testing.T) {
+	b := New(time.Nanosecond, time.Nanosecond, -1, 1)
+	if d := b.Next(1); d < time.Millisecond {
+		t.Fatalf("Next(1) = %v below the 1ms floor", d)
+	}
+}
