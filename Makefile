@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos fuzz bench bench-smoke
+.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos cluster-tcp fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 # verify is the CI entry point: static checks, the race-checked suite, the
 # parallel-compilation equivalence property, the observability smoke, and
 # the cluster chaos suite.
-verify: vet race closure-prop obs-smoke cluster-chaos
+verify: vet race closure-prop obs-smoke cluster-chaos cluster-tcp
 
 # closure-prop runs the parallel-closure property tests explicitly (random
 # cyclic topologies: ConeClosures at 1/2/4/8 workers must match the
@@ -39,20 +39,32 @@ obs-smoke:
 # mid-run (internal/cluster chaos suite) plus the end-to-end acceptance run
 # over the simulated IXP — every scenario must produce a merged checkpoint
 # byte-identical to the fault-free single-process run. Raced, because the
-# whole layer is concurrent by construction.
-cluster-chaos:
+# whole layer is concurrent by construction. The cluster-tcp prerequisite
+# reruns the discipline over real loopback TCP.
+cluster-chaos: cluster-tcp
 	$(GO) test -race -run 'TestClusterSurvives|TestClusterRepeatedKillsConverge' -count=1 ./internal/cluster
 	$(GO) test -race -run TestResilientClusterMatchesSingleProcess -count=1 .
 
+# cluster-tcp is the deployment-transport gate: the chaos and failover
+# scenarios again, but over real loopback TCP with authenticated hellos —
+# a stalled link, an injected accept failure, a SIGKILL-equivalent
+# coordinator death resumed from the shard ledger, and a warm-standby
+# takeover. Byte-identity against the fault-free single-process run is the
+# bar in every scenario.
+cluster-tcp:
+	$(GO) test -race -timeout 120s -run 'TestClusterTCPChaos|TestStandbyTakeover|TestClusterSurvivesCoordinatorKill' -count=1 ./internal/cluster
+
 # bench measures live-runtime consumption throughput (sequential Step loop
-# vs the batch-parallel consumer at 1/2/4/8 workers) plus pipeline
-# compilation latency (cold at 1/2/4/8 build workers and incremental, at
-# paper and ~50K-AS full-table scale) and records the machine-readable
-# baseline in BENCH_runtime.json. The document carries the recording host's
-# CPU count, so single-core baselines are self-describing.
+# vs the batch-parallel consumer at 1/2/4/8 workers), pipeline compilation
+# latency (cold at 1/2/4/8 build workers and incremental, at paper and
+# ~50K-AS full-table scale), and the cluster flow transport over TCP
+# loopback (frame batch 1/64/512 × deflate off/on), recording the
+# machine-readable baseline in BENCH_runtime.json. The document carries the
+# recording host's CPU count, so single-core baselines are self-describing.
 bench:
 	( $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
-	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ) \
+	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport -benchtime=1x . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_runtime.json
 	cat BENCH_runtime.json
 

@@ -2,15 +2,19 @@ package spoofscope
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"spoofscope/internal/astopo"
 	"spoofscope/internal/bgp"
+	"spoofscope/internal/cluster"
 	"spoofscope/internal/core"
 	"spoofscope/internal/experiments"
 	"spoofscope/internal/ipfix"
@@ -529,6 +533,113 @@ func BenchmarkIPFIXDecode(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkClusterTransport measures the coordinator→worker flow transport
+// over real TCP loopback — the wire cmd/spoofscope-worker deploys on. One
+// external worker consumes the whole feed; the sweep crosses the flows-per-
+// frame batch size (1/64/512) with wire compression off and on, and the
+// headline flows/sec metric (feed through durable checkpoint) lands in the
+// `cluster` section of BENCH_runtime.json (`make bench`). Batch-1 prices a
+// syscall per flow, so the batch-64 delta is the one that justifies the
+// default; compression trades CPU for bytes and only pays off past loopback.
+func BenchmarkClusterTransport(b *testing.B) {
+	env := benchEnvironment(b)
+	flows := env.Flows
+	// Small enough that the per-flow-frame variant (batch-1 pays a syscall
+	// per flow, tick-paced when the outbound queue fills) finishes promptly;
+	// large enough to amortize setup across thousands of frames.
+	if len(flows) > 30_000 {
+		flows = flows[:30_000]
+	}
+	var members []core.MemberInfo
+	for _, m := range env.Scenario.Members {
+		members = append(members, core.MemberInfo{ASN: m.ASN, Port: m.Port})
+	}
+	start := env.Scenario.Cfg.Start
+
+	// One full cluster lifecycle per iteration, torn down by defers so a
+	// failed variant cannot leak a live coordinator or a redialing worker
+	// into the variants after it.
+	iteration := func(b *testing.B, batch int, compress bool) {
+		b.StopTimer()
+		defer b.StartTimer()
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Shards: 4, Members: members,
+			Start: start, Bucket: env.Scenario.Cfg.Duration / 168,
+			HeartbeatInterval: 20 * time.Millisecond,
+			FlowBatch:         batch,
+			Compress:          compress,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer coord.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		go coord.Serve(ln)
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name: "bench-worker",
+			Dial: func() (net.Conn, error) {
+				return net.Dial("tcp", ln.Addr().String())
+			},
+			HeartbeatInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wctx, stopWorker := context.WithCancel(context.Background())
+		workerDone := make(chan struct{})
+		go func() { defer close(workerDone); w.Run(wctx) }()
+		defer func() { stopWorker(); <-workerDone }()
+		for deadline := time.Now().Add(10 * time.Second); coord.Stats().Workers == 0; {
+			if time.Now().After(deadline) {
+				b.Fatal("bench worker never joined")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := coord.DistributeEpoch(env.RIB); err != nil {
+			b.Fatal(err)
+		}
+
+		b.StartTimer()
+		for _, f := range flows {
+			coord.Ingest(f)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		cp, err := coord.Checkpoint(ctx)
+		cancel()
+		if err != nil {
+			b.Fatalf("cluster checkpoint: %v", err)
+		}
+		b.StopTimer()
+
+		if cp.Processed != uint64(len(flows)) {
+			b.Fatalf("processed %d flows, want %d", cp.Processed, len(flows))
+		}
+	}
+
+	run := func(b *testing.B, batch int, compress bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			iteration(b, batch, compress)
+		}
+		b.ReportMetric(float64(len(flows))*float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+	}
+
+	for _, batch := range []int{1, 64, 512} {
+		for _, compress := range []bool{false, true} {
+			name := fmt.Sprintf("batch-%d", batch)
+			if compress {
+				name += "-deflate"
+			}
+			b.Run(name, func(b *testing.B) { run(b, batch, compress) })
 		}
 	}
 }

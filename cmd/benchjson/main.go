@@ -54,6 +54,18 @@ type buildSummary struct {
 	ASes      float64 `json:"ases,omitempty"`
 }
 
+// clusterSummary surfaces the TCP flow-transport benchmark
+// (BenchmarkClusterTransport/batch-N[-deflate]) as a first-class section:
+// one entry per batch-size/compression variant with its end-to-end
+// flows/sec, so the committed baseline records what frame batching and wire
+// compression are worth on the deployment transport.
+type clusterSummary struct {
+	Benchmark   string  `json:"benchmark"`
+	Batch       int     `json:"batch"`
+	Compressed  bool    `json:"compressed"`
+	FlowsPerSec float64 `json:"flowsPerSec"`
+}
+
 type document struct {
 	GeneratedAt time.Time         `json:"generatedAt"`
 	GoVersion   string            `json:"goVersion"`
@@ -63,6 +75,7 @@ type document struct {
 	Benchmarks  []benchmark       `json:"benchmarks"`
 	Latency     []latencySummary  `json:"latency,omitempty"`
 	Build       []buildSummary    `json:"build,omitempty"`
+	Cluster     []clusterSummary  `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -105,6 +118,9 @@ func main() {
 		if bs, ok := parseBuildEntry(b); ok {
 			doc.Build = append(doc.Build, bs)
 		}
+		if cs, ok := parseClusterEntry(b); ok {
+			doc.Cluster = append(doc.Cluster, cs)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -136,6 +152,48 @@ func parseBuildEntry(b benchmark) (buildSummary, bool) {
 		Variant:   variant,
 		Seconds:   b.Metrics["ns/op"] / 1e9,
 		ASes:      b.Metrics["ases"],
+	}, true
+}
+
+// parseClusterEntry lifts one BenchmarkClusterTransport/batch-N[-deflate]
+// entry into a clusterSummary. The variant is tried verbatim first — the
+// batch size itself is numeric, so blindly stripping a trailing -N would
+// eat it on a GOMAXPROCS=1 recorder (where Go appends no suffix) — and only
+// on a parse failure is one numeric -P suffix removed and the parse retried.
+func parseClusterEntry(b benchmark) (clusterSummary, bool) {
+	variant, ok := strings.CutPrefix(b.Name, "BenchmarkClusterTransport/")
+	if !ok {
+		return clusterSummary{}, false
+	}
+	if cs, ok := parseClusterVariant(b, variant); ok {
+		return cs, true
+	}
+	if i := strings.LastIndex(variant, "-"); i >= 0 {
+		if _, err := strconv.Atoi(variant[i+1:]); err == nil {
+			return parseClusterVariant(b, variant[:i])
+		}
+	}
+	return clusterSummary{}, false
+}
+
+func parseClusterVariant(b benchmark, variant string) (clusterSummary, bool) {
+	compressed := false
+	if v, ok := strings.CutSuffix(variant, "-deflate"); ok {
+		variant, compressed = v, true
+	}
+	batchStr, ok := strings.CutPrefix(variant, "batch-")
+	if !ok {
+		return clusterSummary{}, false
+	}
+	batch, err := strconv.Atoi(batchStr)
+	if err != nil {
+		return clusterSummary{}, false
+	}
+	return clusterSummary{
+		Benchmark:   b.Name,
+		Batch:       batch,
+		Compressed:  compressed,
+		FlowsPerSec: b.Metrics["flows/sec"],
 	}, true
 }
 

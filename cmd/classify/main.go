@@ -25,9 +25,17 @@
 // runtime in-process: flows shard by ingress member across N workers (each
 // with its own locally compiled pipeline), and the result is the merged
 // worker checkpoints — identical to the single-process pass. -shards M
-// sets the handoff granularity (default 4 per worker). Cluster mode
-// refuses to resume from an existing -checkpoint file but writes the final
-// merged checkpoint to it.
+// sets the handoff granularity (default 4 per worker). With an existing
+// -checkpoint file, the cluster run resumes from it: the baseline folds
+// into the merged result and only the remaining flows are fed. -ledger
+// additionally persists the coordinator's shard ledger, so a killed
+// coordinator restarted over the same flags resumes mid-run.
+//
+// With -coordinator-addr the coordinator also listens on TCP for external
+// spoofscope-worker daemons (authenticated by -secret / -secret-file);
+// -cluster may then be 0 to rely on external workers entirely. -standby
+// runs a warm standby instead: it tails the -ledger and waits for the
+// primary's listen address to free, then takes over and finishes the run.
 //
 // With -metrics-addr the run serves /metrics (Prometheus text), /healthz,
 // /events, and /debug/pprof while it classifies. SIGINT/SIGTERM stop the
@@ -52,6 +60,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -81,6 +90,12 @@ func main() {
 		workersN = flag.Int("workers", 0, "parallel classification workers (0 = single-threaded pass)")
 		clusterN = flag.Int("cluster", 0, "run the coordinator/worker cluster runtime with this many in-process workers (0 = off)")
 		shardsN  = flag.Int("shards", 0, "ingress-member shards in cluster mode (default 4 per worker)")
+		coordTCP = flag.String("coordinator-addr", "", "also listen on this TCP address for external spoofscope-worker daemons (enables cluster mode)")
+		secret   = flag.String("secret", "", "shared secret authenticating cluster workers")
+		secretF  = flag.String("secret-file", "", "read the cluster secret from this file (trailing newline ignored)")
+		ledgerP  = flag.String("ledger", "", "persist the coordinator's shard ledger to this file; resume from it if present")
+		standby  = flag.Bool("standby", false, "run as a warm-standby coordinator: tail -ledger, take over -coordinator-addr when the primary dies")
+		compress = flag.Bool("compress", false, "deflate flow batches on the cluster wire (for real networks)")
 		buildW   = flag.Int("build-workers", 0, "pipeline compilation workers (0 = GOMAXPROCS, 1 = sequential build)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address during the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -92,16 +107,26 @@ func main() {
 		// longer positions a replay; refuse the ambiguous combination.
 		log.Fatal("-checkpoint cannot be combined with -aggregate")
 	}
-	if *shardsN > 0 && *clusterN <= 0 {
-		log.Fatal("-shards requires -cluster")
+	clusterMode := *clusterN > 0 || *coordTCP != ""
+	if *shardsN > 0 && !clusterMode {
+		log.Fatal("-shards requires -cluster or -coordinator-addr")
 	}
-	if *clusterN > 0 && *ckptPath != "" {
-		// Cluster checkpoints are written fresh from the merged worker
-		// reports; resuming a single-process replay cursor through the
-		// sharded runtime is not supported.
-		if _, err := os.Stat(*ckptPath); err == nil {
-			log.Fatalf("cluster mode cannot resume from an existing checkpoint; move %s aside first", *ckptPath)
+	if *standby && (*coordTCP == "" || *ledgerP == "") {
+		log.Fatal("-standby requires -coordinator-addr and -ledger")
+	}
+	if (*secret != "" || *secretF != "" || *ledgerP != "" || *standby || *compress) && !clusterMode {
+		log.Fatal("-secret/-ledger/-standby/-compress require cluster mode (-cluster or -coordinator-addr)")
+	}
+	clusterSecret := []byte(*secret)
+	if *secretF != "" {
+		if *secret != "" {
+			log.Fatal("-secret and -secret-file are mutually exclusive")
 		}
+		b, err := os.ReadFile(*secretF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusterSecret = []byte(strings.TrimRight(string(b), "\r\n"))
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -214,12 +239,27 @@ func main() {
 	fr := ipfix.NewFileReader(flows)
 	var agg *core.Aggregator
 	var n int
-	if *clusterN > 0 {
+	if clusterMode {
 		shards := *shardsN
 		if shards <= 0 {
-			shards = 4 * *clusterN
+			workers := *clusterN
+			if workers <= 0 {
+				workers = 1
+			}
+			shards = 4 * workers
 		}
-		agg, n = classifyCluster(ctx, fr, rib, members, opts, *clusterN, shards, *workersN, *aggTO, *ckptPath, tel)
+		agg, n = classifyCluster(ctx, fr, rib, members, opts, clusterRunConfig{
+			workers:   *clusterN,
+			shards:    shards,
+			drain:     *workersN,
+			aggTO:     *aggTO,
+			ckptPath:  *ckptPath,
+			coordAddr: *coordTCP,
+			secret:    clusterSecret,
+			ledger:    *ledgerP,
+			standby:   *standby,
+			compress:  *compress,
+		}, tel)
 	} else {
 		agg, n = classifyRun(ctx, fr, pipeline, bstats, *workersN, *aggTO, *ckptPath, *ckptN, tel)
 	}
@@ -327,44 +367,99 @@ func classifyRun(ctx context.Context, fr *ipfix.FileReader, pipeline *core.Pipel
 	return rt.Aggregator(), int(rt.Stats().Processed)
 }
 
-// classifyCluster drives the coordinator/worker runtime in-process: the
-// coordinator shards flows by ingress member, nWorkers workers (each
-// dialling over a net.Pipe) compile their own pipelines from the shipped
-// epoch and classify their shards, and the final answer is the merged
-// worker checkpoints — byte-identical to what classifyRun would produce
-// over the same flows. A cancelled ctx stops the feed; the checkpoint then
-// covers exactly the flows fed so far. With ckptPath the merged checkpoint
-// is also written to disk (resume is refused up front in cluster mode).
-func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, members []core.MemberInfo, opts core.Options, nWorkers, shards, drain int, aggTO time.Duration, ckptPath string, tel *obs.Telemetry) (*core.Aggregator, int) {
+// clusterRunConfig bundles the cluster-mode knobs.
+type clusterRunConfig struct {
+	workers   int // in-process workers (0 allowed with a coordAddr)
+	shards    int // handoff granularity
+	drain     int // RunParallel consumers per shard runtime
+	aggTO     time.Duration
+	ckptPath  string // resume baseline in, merged checkpoint out
+	coordAddr string // TCP listen address for external worker daemons
+	secret    []byte // hello HMAC key
+	ledger    string // shard-ledger path (crash-resume)
+	standby   bool   // wait for the primary to die, then take over
+	compress  bool   // deflate flow batches on the wire
+}
+
+// classifyCluster drives the coordinator/worker runtime: the coordinator
+// shards flows by ingress member across in-process workers (net.Pipe) and,
+// with a coordinator address, external spoofscope-worker daemons over TCP.
+// The final answer is the merged worker checkpoints — byte-identical to
+// what classifyRun would produce over the same flows. An existing
+// checkpoint file is the resume baseline; a persisted shard ledger resumes
+// a killed coordinator mid-run (the feed skips everything either already
+// incorporates). A cancelled ctx stops the feed; the checkpoint then covers
+// exactly the flows fed so far.
+func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, members []core.MemberInfo, opts core.Options, rc clusterRunConfig, tel *obs.Telemetry) (*core.Aggregator, int) {
 	// In-process workers share this CPU with their own pipeline compiles, so
 	// a generous heartbeat keeps a busy compile from reading as a dead link
 	// (a starved worker is still handled correctly — its shards hand off and
 	// it rejoins — but the churn is noise here).
-	coord, err := cluster.NewCoordinator(cluster.Config{
-		Shards:  shards,
+	ccfg := cluster.Config{
+		Shards:  rc.shards,
 		Members: members,
 		Start:   time.Unix(0, 0).UTC(), Bucket: 1 << 62, // single bucket
 		HeartbeatInterval: 2 * time.Second,
+		Secret:            rc.secret,
+		Compress:          rc.compress,
+		LedgerPath:        rc.ledger,
 		Telemetry:         tel,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	if rc.ckptPath != "" {
+		if cp, err := core.ReadCheckpointFile(rc.ckptPath); err == nil {
+			ccfg.Resume = cp
+			log.Printf("resuming cluster run from %s: %d flows already incorporated", rc.ckptPath, cp.Processed)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+
+	var coord *cluster.Coordinator
+	var ln net.Listener
+	var err error
+	if rc.standby {
+		log.Printf("standby: tailing %s, waiting for %s to free", rc.ledger, rc.coordAddr)
+		coord, ln, err = cluster.RunStandby(ctx, cluster.StandbyConfig{
+			Coordinator: ccfg,
+			Listen:      func() (net.Listener, error) { return net.Listen("tcp", rc.coordAddr) },
+		})
+		if err != nil {
+			log.Fatalf("standby: %v", err)
+		}
+		log.Printf("standby: took over %s", ln.Addr())
+	} else {
+		coord, err = cluster.NewCoordinator(ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rc.coordAddr != "" {
+			ln, err = net.Listen("tcp", rc.coordAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("cluster: listening on %s for workers", ln.Addr())
+		}
 	}
 	defer coord.Close()
+	if ln != nil {
+		defer ln.Close()
+		go coord.Serve(ln)
+	}
 
 	wctx, stopWorkers := context.WithCancel(context.Background())
 	defer stopWorkers()
 	var wg sync.WaitGroup
-	for i := 0; i < nWorkers; i++ {
+	for i := 0; i < rc.workers; i++ {
 		w, err := cluster.NewWorker(cluster.WorkerConfig{
-			Name: fmt.Sprintf("worker-%d", i),
+			Name:   fmt.Sprintf("worker-%d", i),
+			Secret: rc.secret,
 			Dial: func() (net.Conn, error) {
 				workerSide, coordSide := net.Pipe()
 				coord.AddConn(coordSide)
 				return workerSide, nil
 			},
 			Opts:              opts,
-			DrainWorkers:      drain,
+			DrainWorkers:      rc.drain,
 			HeartbeatInterval: 2 * time.Second,
 			Seed:              int64(i),
 			Telemetry:         tel,
@@ -378,14 +473,34 @@ func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, me
 			w.Run(wctx)
 		}()
 	}
-	if seq, err := coord.DistributeEpoch(rib); err != nil {
-		log.Fatal(err)
+
+	// A ledger-restored coordinator already carries a distributed epoch;
+	// redistributing would count a spurious swap and desynchronize the
+	// checkpoint from the fault-free run.
+	restored := coord.Stats().FlowsRouted
+	if coord.EpochSeq() == 0 {
+		if seq, err := coord.DistributeEpoch(rib); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("cluster: %d in-process workers, %d shards, epoch %d distributed",
+				rc.workers, rc.shards, seq)
+		}
 	} else {
-		log.Printf("cluster: %d workers, %d shards, epoch %d distributed", nWorkers, shards, seq)
+		log.Printf("cluster: resumed epoch %d from the shard ledger, %d flows already routed",
+			coord.EpochSeq(), restored)
 	}
 
-	fed := 0
+	// Skip everything already incorporated: the resume baseline's flows,
+	// then the restored ledger's feed position past it.
+	skip := restored
+	if ccfg.Resume != nil {
+		skip += ccfg.Resume.Ingested
+	}
+	fed, seen := 0, uint64(0)
 	sink := func(f ipfix.Flow) bool {
+		if seen++; seen <= skip {
+			return true
+		}
 		if ctx.Err() != nil {
 			return false // interrupt: stop reading the file
 		}
@@ -393,7 +508,7 @@ func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, me
 		fed++
 		return true
 	}
-	if err := feedFlows(fr, aggTO, sink); err != nil {
+	if err := feedFlows(fr, rc.aggTO, sink); err != nil {
 		log.Fatal(err)
 	}
 	if ctx.Err() != nil {
@@ -409,12 +524,18 @@ func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, me
 		log.Fatalf("cluster checkpoint: %v", err)
 	}
 	st := coord.Stats()
-	log.Printf("cluster: %d flows routed, %d handoffs, %d rebalances", st.FlowsRouted, st.Handoffs, st.Rebalances)
-	if ckptPath != "" {
-		if err := core.WriteCheckpointFile(ckptPath, cp); err != nil {
+	log.Printf("cluster: %d flows routed, %d handoffs, %d rebalances, %d reclaims, %d ledger writes",
+		st.FlowsRouted, st.Handoffs, st.Rebalances, st.Reclaims, st.LedgerWrites)
+	if rc.ckptPath != "" {
+		if err := core.WriteCheckpointFile(rc.ckptPath, cp); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("checkpoint: %s", ckptPath)
+		log.Printf("checkpoint: %s", rc.ckptPath)
+	}
+	if rc.ledger != "" {
+		if err := coord.SyncLedger(); err != nil {
+			log.Printf("ledger sync: %v", err)
+		}
 	}
 	stopWorkers()
 	wg.Wait()

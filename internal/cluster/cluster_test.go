@@ -141,38 +141,88 @@ func quiescentCheckpoint(t *testing.T, rt *core.Runtime) []byte {
 // used — the hook chaos tests use to inject faults on specific links.
 type testCluster struct {
 	t        *testing.T
-	coord    *Coordinator
 	tel      *obs.Telemetry
+	cfg      Config
 	wrapDial func(worker int, coordSide, workerSide net.Conn) (net.Conn, net.Conn)
 
 	mu      sync.Mutex
+	coord   *Coordinator // replaced by restartCoordinator; read under mu
 	cancels map[int]context.CancelFunc
 	runDone map[int]chan struct{}
 	conns   map[int]net.Conn // latest worker-side conn per worker
 }
 
+// coordinator returns the current coordinator (it changes across a
+// restart).
+func (tc *testCluster) coordinator() *Coordinator {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.coord
+}
+
 func newTestCluster(t *testing.T, shards int) *testCluster {
+	return newTestClusterWith(t, shards, nil)
+}
+
+// newTestClusterWith lets a test adjust the coordinator configuration (set
+// a ledger path, a secret, compression) before construction.
+func newTestClusterWith(t *testing.T, shards int, mod func(*Config)) *testCluster {
 	t.Helper()
 	tel := obs.NewTelemetry()
-	coord, err := NewCoordinator(Config{
+	cfg := Config{
 		Shards:            shards,
 		Members:           testMembers,
 		Start:             tcStart,
 		Bucket:            time.Hour,
 		HeartbeatInterval: 20 * time.Millisecond,
 		Telemetry:         tel,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tc := &testCluster{
-		t: t, coord: coord, tel: tel,
+		t: t, coord: coord, tel: tel, cfg: cfg,
 		cancels: make(map[int]context.CancelFunc),
 		runDone: make(map[int]chan struct{}),
 		conns:   make(map[int]net.Conn),
 	}
-	t.Cleanup(coord.Close)
+	t.Cleanup(func() {
+		tc.mu.Lock()
+		coord := tc.coord
+		tc.mu.Unlock()
+		coord.Close()
+	})
 	return tc
+}
+
+// killCoordinator simulates coordinator process death: the coordinator is
+// closed without a ledger sync (Close is crash-equivalent), every worker
+// link collapses, and workers begin redialing into the void.
+func (tc *testCluster) killCoordinator() {
+	tc.mu.Lock()
+	coord := tc.coord
+	tc.mu.Unlock()
+	coord.Close()
+}
+
+// restartCoordinator builds a replacement coordinator from the same
+// configuration — with a LedgerPath set it resumes from the persisted
+// ledger. Redialing workers reach it because the dial closure re-reads
+// tc.coord on every attempt. Returns the restored feed position.
+func (tc *testCluster) restartCoordinator() uint64 {
+	tc.t.Helper()
+	coord, err := NewCoordinator(tc.cfg)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.mu.Lock()
+	tc.coord = coord
+	tc.mu.Unlock()
+	return coord.Stats().FlowsRouted
 }
 
 func (tc *testCluster) startWorker(i int) {
@@ -184,8 +234,9 @@ func (tc *testCluster) startWorker(i int) {
 		}
 		tc.mu.Lock()
 		tc.conns[i] = workerSide
+		coord := tc.coord // re-read: a restarted coordinator replaces it
 		tc.mu.Unlock()
-		tc.coord.AddConn(coordSide)
+		coord.AddConn(coordSide)
 		return workerSide, nil
 	}
 	w, err := NewWorker(WorkerConfig{
@@ -264,7 +315,7 @@ func (tc *testCluster) dropLink(i int) {
 
 func (tc *testCluster) distribute(rib *bgp.RIB) uint64 {
 	tc.t.Helper()
-	seq, err := tc.coord.DistributeEpoch(rib)
+	seq, err := tc.coordinator().DistributeEpoch(rib)
 	if err != nil {
 		tc.t.Fatal(err)
 	}
@@ -275,7 +326,7 @@ func (tc *testCluster) checkpointBytes() []byte {
 	tc.t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	cp, err := tc.coord.Checkpoint(ctx)
+	cp, err := tc.coordinator().Checkpoint(ctx)
 	if err != nil {
 		tc.t.Fatalf("cluster checkpoint: %v", err)
 	}
@@ -291,7 +342,7 @@ func (tc *testCluster) checkpointBytes() []byte {
 // no shard is orphaned.
 func (tc *testCluster) assertCursorInvariant(fed int) {
 	tc.t.Helper()
-	st := tc.coord.Stats()
+	st := tc.coordinator().Stats()
 	if st.FlowsRouted != uint64(fed) {
 		tc.t.Fatalf("routed %d flows, fed %d", st.FlowsRouted, fed)
 	}
@@ -379,9 +430,31 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("report round trip mismatch: %+v", gr)
 	}
 
-	name, err := decodeHello(encodeHello("w1"))
-	if err != nil || name != "w1" {
-		t.Fatalf("hello round trip: %q, %v", name, err)
+	nonce, err := decodeChallenge(encodeChallenge(bytes.Repeat([]byte{0xAB}, challengeNonceLen)))
+	if err != nil || len(nonce) != challengeNonceLen || nonce[0] != 0xAB {
+		t.Fatalf("challenge round trip: %x, %v", nonce, err)
+	}
+
+	hm := helloMsg{identity: "node-1", name: "w1"}
+	hm.mac = helloMAC([]byte("s3cret"), nonce, hm.identity, hm.name)
+	gh, err := decodeHello(encodeHello(hm))
+	if err != nil || gh.identity != "node-1" || gh.name != "w1" || !bytes.Equal(gh.mac, hm.mac) {
+		t.Fatalf("hello round trip: %+v, %v", gh, err)
+	}
+
+	zm := flowsMsg{shard: 4, base: 17, flows: flows}
+	gz, err := decodeFlows(encodeFlowsZ(zm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.shard != 4 || gz.base != 17 || len(gz.flows) != len(flows) {
+		t.Fatalf("compressed flows round trip mismatch")
+	}
+	for i := range flows {
+		if !gz.flows[i].Start.Equal(flows[i].Start) || gz.flows[i].SrcAddr != flows[i].SrcAddr ||
+			gz.flows[i].Bytes != flows[i].Bytes || gz.flows[i].Ingress != flows[i].Ingress {
+			t.Fatalf("compressed flow %d did not survive the wire", i)
+		}
 	}
 }
 
@@ -404,6 +477,34 @@ func TestClusterMatchesSingleProcess(t *testing.T) {
 		t.Fatalf("cluster checkpoint differs from single-process run (%d vs %d bytes)", len(got), len(want))
 	}
 	tc.assertCursorInvariant(len(flows))
+}
+
+// TestClusterResumeFromCheckpoint: a cluster run constructed with a prior
+// run's checkpoint as its Resume baseline produces, after feeding the
+// remaining flows, a checkpoint byte-identical to one uninterrupted
+// single-process run over everything — the contract `classify -cluster`
+// resume relies on.
+func TestClusterResumeFromCheckpoint(t *testing.T) {
+	flows := testFlows(2000)
+	want := singleProcessCheckpoint(t, flows)
+
+	baseBytes := singleProcessCheckpoint(t, flows[:1000])
+	base, err := core.DecodeCheckpoint(bytes.NewReader(baseBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := newTestClusterWith(t, 4, func(cfg *Config) { cfg.Resume = base })
+	tc.startWorker(0)
+	tc.startWorker(1)
+	tc.distribute(testRIB())
+	for _, f := range flows[1000:] {
+		tc.coordinator().Ingest(f)
+	}
+	got := tc.checkpointBytes()
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed cluster checkpoint diverged from the uninterrupted run")
+	}
 }
 
 // TestEpochFingerprintGating: an unchanged RIB ships a sequence bump, not

@@ -3,16 +3,21 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/hmac"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spoofscope/internal/bgp"
 	"spoofscope/internal/core"
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/obs"
+	"spoofscope/internal/retry"
 )
 
 // Config configures a Coordinator.
@@ -35,6 +40,37 @@ type Config struct {
 	HeartbeatMisses   int
 	// FlowBatch bounds flows per wire frame (default 64).
 	FlowBatch int
+	// Compress deflates flow batches on the wire — worth it on real
+	// networks where frames cross a NIC, not for in-process pipes.
+	Compress bool
+	// Secret authenticates workers: every hello must carry an HMAC over
+	// the connection's challenge nonce keyed by this secret. An empty
+	// secret still runs the handshake (the MAC is computed over the empty
+	// key), so the protocol is uniform; it just authenticates nothing.
+	Secret []byte
+	// MaxConns caps concurrent worker connections, counting ones that have
+	// not said hello yet (default 256). Excess connections are closed and
+	// counted, so an accept flood cannot exhaust the coordinator.
+	MaxConns int
+	// HelloTimeout bounds the unauthenticated window: a connection that
+	// has not completed the challenge/hello exchange within it is dropped
+	// (default: the heartbeat deadline).
+	HelloTimeout time.Duration
+	// LedgerPath, when set, persists the shard ledger — per-shard cursors,
+	// last durable worker checkpoints, replay tails, plus the current
+	// epoch — via write-temp+rename, checkpointed on every report merge
+	// and on a timer. A coordinator constructed with an existing ledger
+	// resumes from it: shards restart orphaned at their durable state and
+	// redialing workers reclaim them by identity.
+	LedgerPath string
+	// LedgerEvery is the number of heartbeat intervals between timed
+	// ledger syncs (default 8; report merges sync regardless).
+	LedgerEvery int
+	// Resume, when non-nil, is a baseline checkpoint folded into every
+	// Checkpoint produced by this coordinator — how a cluster run
+	// continues from a prior run's (cluster or single-process) checkpoint.
+	// The caller must skip the flows the baseline already incorporates.
+	Resume *core.Checkpoint
 	// Telemetry, when non-nil, registers cluster metrics, records shard
 	// lifecycle events in the journal, and installs the readiness source:
 	// unready before the first epoch, degraded while any shard is orphaned
@@ -67,6 +103,27 @@ func (c *Config) flowBatch() int {
 	return c.FlowBatch
 }
 
+func (c *Config) maxConns() int {
+	if c.MaxConns <= 0 {
+		return 256
+	}
+	return c.MaxConns
+}
+
+func (c *Config) helloTimeout() time.Duration {
+	if c.HelloTimeout <= 0 {
+		return c.deadline()
+	}
+	return c.HelloTimeout
+}
+
+func (c *Config) ledgerEvery() int {
+	if c.LedgerEvery <= 0 {
+		return 8
+	}
+	return c.LedgerEvery
+}
+
 // outboundDepth bounds a link's outbound frame queue. A worker that stops
 // reading for long enough to back this up is indistinguishable from a dead
 // one, and is treated as such rather than stalling the whole cluster.
@@ -74,10 +131,33 @@ const outboundDepth = 4096
 
 // link is one connected worker from the coordinator's side.
 type link struct {
-	name string
-	conn net.Conn
+	id    string // authenticated stable identity (empty until hello)
+	name  string
+	conn  net.Conn
+	nonce []byte // this connection's challenge nonce
+	// Two outbound planes. out carries flow batches plus the revoke frame
+	// (which must stay ordered behind its shard's flows); ctrl carries
+	// everything else — challenge, heartbeat, epoch, assign, report
+	// request — and the writer drains it first, so a queue full of
+	// in-flight flow batches can never starve the control plane into
+	// killing a healthy link. Control frames may therefore overtake flow
+	// frames; every control message is either flow-order-independent
+	// (heartbeat, report request — reports are cursor-based) or ordered
+	// only against other control frames (epoch before assign), which FIFO
+	// within ctrl preserves.
 	out  chan []byte
+	ctrl chan []byte
 
+	// written counts frames the write loop has drained to the conn — the
+	// liveness signal that distinguishes an outbound queue full of in-flight
+	// flow batches (flow control: the peer is reading, let it drain) from one
+	// backed up behind a peer that stopped reading. beatWritten/beatMisses
+	// track it across heartbeats (under Coordinator.mu).
+	written     atomic.Uint64
+	beatWritten uint64
+	beatMisses  int
+
+	released  bool // conn-count slot returned (under Coordinator.mu)
 	closeOnce sync.Once
 	dead      chan struct{}
 }
@@ -100,14 +180,21 @@ func (l *link) label() string {
 // buffer, so the new owner reconstructs precisely the flows the dead owner
 // never durably reported — nothing lost, nothing double-counted.
 type shardState struct {
-	id         uint32
-	owner      *link
-	revoking   bool
-	cursor     uint64
-	sentCursor uint64
-	ackBase    uint64
-	lastReport []byte
-	replay     []ipfix.Flow
+	id        uint32
+	owner     *link
+	lastOwner string // identity of the most recent owner; reclaim key
+	revoking  bool
+	// revokePending marks a revoke frame that could not be enqueued because
+	// the owner's outbound queue was full of earlier flow batches. The revoke
+	// must stay ordered behind those batches (workers fatally reject flows
+	// for a shard they no longer own), so it waits on the same queue and the
+	// ticker retries it instead of killing a healthy, draining link.
+	revokePending bool
+	cursor        uint64
+	sentCursor    uint64
+	ackBase       uint64
+	lastReport    []byte
+	replay        []ipfix.Flow
 }
 
 // Coordinator owns the flow source, routes flows to shard owners, and
@@ -127,18 +214,57 @@ type Coordinator struct {
 	closed    bool
 	degraded  bool
 
+	// conns counts every live connection, authenticated or not, against
+	// the MaxConns cap.
+	conns int
+
+	// ledger machinery: snapshots encoded under mu are handed to a
+	// dedicated writer goroutine (latest wins — an overwritten pending
+	// snapshot is strictly older than its replacement), so file IO never
+	// runs under the coordinator lock. SyncLedger bypasses the queue.
+	ledgerCh   chan []byte
+	ledgerStop chan struct{}
+	ledgerDone chan struct{}
+	ledgerWMu  sync.Mutex // serializes actual file writes
+
 	// counters (under mu; exposed as func-backed metrics)
-	flowsRouted  uint64
-	handoffs     uint64
-	rebalances   uint64
-	hbMisses     uint64
-	staleReports uint64
-	epochsSent   uint64
-	checkpoints  uint64
+	flowsRouted     uint64
+	handoffs        uint64
+	rebalances      uint64
+	reclaims        uint64
+	hbMisses        uint64
+	staleReports    uint64
+	epochsSent      uint64
+	checkpoints     uint64
+	authFailures    uint64
+	identityRejects uint64
+	connsRejected   uint64
+	acceptErrors    uint64
+	ledgerWrites    uint64
+	ledgerErrors    uint64
+	ledgerBytes     uint64
 }
 
-// NewCoordinator validates the configuration and registers telemetry.
+// NewCoordinator validates the configuration and registers telemetry. With
+// LedgerPath set and an existing ledger file present, the coordinator
+// resumes from it: every shard restarts orphaned at its last durable state
+// and Stats().FlowsRouted reports the restored feed position the upstream
+// replayer must resume from.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
+	var lg *ledger
+	if cfg.LedgerPath != "" {
+		var err error
+		lg, err = loadLedgerFile(cfg.LedgerPath)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("cluster: loading ledger %s: %w", cfg.LedgerPath, err)
+		}
+	}
+	return newCoordinator(cfg, lg)
+}
+
+// newCoordinator builds a coordinator, resuming from lg when non-nil (the
+// standby path passes its warm-tailed copy here).
+func newCoordinator(cfg Config, lg *ledger) (*Coordinator, error) {
 	if cfg.Shards <= 0 {
 		return nil, errors.New("cluster: Shards must be > 0")
 	}
@@ -151,11 +277,168 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	for i := range c.shards {
 		c.shards[i] = &shardState{id: uint32(i)}
 	}
+	if lg != nil {
+		if err := lg.validate(&cfg); err != nil {
+			return nil, err
+		}
+		c.epochSeq = lg.epochSeq
+		c.haveFP = lg.haveFP
+		c.lastFP = lg.lastFP
+		c.epochFull = lg.epochFull
+		c.flowsRouted = lg.flowsRouted
+		for i := range lg.shards {
+			ls := &lg.shards[i]
+			s := c.shards[i]
+			s.cursor = ls.cursor
+			s.sentCursor = ls.ackBase
+			s.ackBase = ls.ackBase
+			s.lastOwner = ls.lastOwner
+			s.lastReport = ls.lastReport
+			s.replay = ls.replay
+		}
+		c.cfg.Telemetry.Recordf(obs.EventLedgerResume,
+			"resumed shard ledger: epoch %d, %d flows routed, %d in replay",
+			lg.epochSeq, lg.flowsRouted, c.replayLenLocked())
+	}
+	if cfg.LedgerPath != "" {
+		c.ledgerCh = make(chan []byte, 1)
+		c.ledgerStop = make(chan struct{})
+		c.ledgerDone = make(chan struct{})
+		go c.ledgerWriter()
+	}
 	if tel := cfg.Telemetry; tel != nil {
 		c.instrument(tel)
 	}
 	go c.tick()
 	return c, nil
+}
+
+func (c *Coordinator) replayLenLocked() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.replay)
+	}
+	return n
+}
+
+// snapshotLedgerLocked encodes the durable state under mu.
+func (c *Coordinator) snapshotLedgerLocked() []byte {
+	lg := &ledger{
+		startNanos:  c.cfg.Start.UnixNano(),
+		bucket:      int64(c.cfg.Bucket),
+		epochSeq:    c.epochSeq,
+		haveFP:      c.haveFP,
+		lastFP:      c.lastFP,
+		epochFull:   c.epochFull,
+		flowsRouted: c.flowsRouted,
+		shards:      make([]ledgerShard, len(c.shards)),
+	}
+	for i, s := range c.shards {
+		lg.shards[i] = ledgerShard{
+			cursor:     s.cursor,
+			ackBase:    s.ackBase,
+			lastOwner:  s.lastOwner,
+			lastReport: s.lastReport,
+			replay:     s.replay,
+		}
+	}
+	return encodeLedger(lg)
+}
+
+// saveLedgerLocked hands the current snapshot to the writer goroutine,
+// replacing any pending (older) one. No-op without a LedgerPath.
+func (c *Coordinator) saveLedgerLocked() {
+	if c.ledgerCh == nil || c.closed {
+		return
+	}
+	snap := c.snapshotLedgerLocked()
+	for {
+		select {
+		case c.ledgerCh <- snap:
+			return
+		default:
+		}
+		select {
+		case <-c.ledgerCh: // drop the stale pending snapshot
+		default:
+		}
+	}
+}
+
+func (c *Coordinator) ledgerWriter() {
+	defer close(c.ledgerDone)
+	for {
+		select {
+		case snap := <-c.ledgerCh:
+			c.writeLedger(snap)
+		case <-c.ledgerStop:
+			// Drain a final pending snapshot so a graceful Close does not
+			// discard the freshest state it was already handed.
+			select {
+			case snap := <-c.ledgerCh:
+				c.writeLedger(snap)
+			default:
+			}
+			return
+		}
+	}
+}
+
+func (c *Coordinator) writeLedger(snap []byte) {
+	c.ledgerWMu.Lock()
+	err := writeLedgerFile(c.cfg.LedgerPath, snap)
+	c.ledgerWMu.Unlock()
+	c.mu.Lock()
+	if err != nil {
+		c.ledgerErrors++
+	} else {
+		c.ledgerWrites++
+		c.ledgerBytes = uint64(len(snap))
+	}
+	c.mu.Unlock()
+	if err != nil {
+		c.cfg.Telemetry.Recordf(obs.EventLedgerError, "ledger write failed: %v", err)
+	}
+}
+
+// SyncLedger writes the shard ledger synchronously — the durability point
+// a graceful shutdown (or a test simulating one) can wait on. Without a
+// LedgerPath it is a no-op.
+func (c *Coordinator) SyncLedger() error {
+	c.mu.Lock()
+	if c.cfg.LedgerPath == "" {
+		c.mu.Unlock()
+		return nil
+	}
+	snap := c.snapshotLedgerLocked()
+	c.mu.Unlock()
+	c.ledgerWMu.Lock()
+	err := writeLedgerFile(c.cfg.LedgerPath, snap)
+	c.ledgerWMu.Unlock()
+	c.mu.Lock()
+	if err != nil {
+		c.ledgerErrors++
+	} else {
+		c.ledgerWrites++
+		c.ledgerBytes = uint64(len(snap))
+	}
+	c.mu.Unlock()
+	if err != nil {
+		c.cfg.Telemetry.Recordf(obs.EventLedgerError, "ledger sync failed: %v", err)
+		return err
+	}
+	c.cfg.Telemetry.Recordf(obs.EventLedgerWrite, "ledger synced (%d bytes)", len(snap))
+	return nil
+}
+
+// EpochSeq reports the current routing epoch sequence — nonzero after a
+// DistributeEpoch or a ledger resume that restored one, in which case the
+// restored full epoch is replayed to joining workers and the caller need
+// not redistribute an unchanged RIB.
+func (c *Coordinator) EpochSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochSeq
 }
 
 func (c *Coordinator) instrument(tel *obs.Telemetry) {
@@ -181,6 +464,30 @@ func (c *Coordinator) instrument(tel *obs.Telemetry) {
 	m.CounterFunc("spoofscope_cluster_epochs_total",
 		"Routing-state epochs distributed to workers.",
 		locked(func() uint64 { return c.epochsSent }))
+	m.CounterFunc("spoofscope_cluster_auth_failures_total",
+		"Connections dropped for a bad, truncated, or replayed hello.",
+		locked(func() uint64 { return c.authFailures }))
+	m.CounterFunc("spoofscope_cluster_identity_rejects_total",
+		"Hellos rejected because their identity is already connected.",
+		locked(func() uint64 { return c.identityRejects }))
+	m.CounterFunc("spoofscope_cluster_conns_rejected_total",
+		"Connections closed at the MaxConns cap.",
+		locked(func() uint64 { return c.connsRejected }))
+	m.CounterFunc("spoofscope_cluster_accept_errors_total",
+		"Accept failures survived by the serve loop.",
+		locked(func() uint64 { return c.acceptErrors }))
+	m.CounterFunc("spoofscope_cluster_reclaims_total",
+		"Orphaned shards reclaimed by their last owner's identity.",
+		locked(func() uint64 { return c.reclaims }))
+	m.CounterFunc("spoofscope_cluster_ledger_writes_total",
+		"Shard-ledger snapshots durably written.",
+		locked(func() uint64 { return c.ledgerWrites }))
+	m.CounterFunc("spoofscope_cluster_ledger_errors_total",
+		"Shard-ledger write failures.",
+		locked(func() uint64 { return c.ledgerErrors }))
+	m.GaugeFunc("spoofscope_cluster_ledger_bytes",
+		"Size of the last shard-ledger snapshot written.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.ledgerBytes) })
 	m.GaugeFunc("spoofscope_cluster_workers",
 		"Live worker links.",
 		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.links)) })
@@ -242,8 +549,20 @@ func (c *Coordinator) tick() {
 			c.flushShardLocked(s)
 		}
 		for l := range c.links {
-			if !c.trySendLocked(l, heartbeatFrame) {
-				go c.killLink(l, "outbound queue full at heartbeat")
+			if c.sendCtrlLocked(l, heartbeatFrame) {
+				l.beatWritten, l.beatMisses = l.written.Load(), 0
+				continue
+			}
+			// Queue full: fatal only if the writer has made no progress for
+			// the full miss budget. A draining queue is backpressure, not
+			// death — and the flow frames themselves feed the worker's read
+			// deadline, so skipping the beat costs nothing.
+			if w := l.written.Load(); w != l.beatWritten {
+				l.beatWritten, l.beatMisses = w, 0
+				continue
+			}
+			if l.beatMisses++; l.beatMisses >= c.cfg.misses() {
+				go c.killLink(l, "outbound queue full with the writer stalled")
 			}
 		}
 		// Every few beats, solicit reports so replay buffers stay bounded
@@ -251,39 +570,132 @@ func (c *Coordinator) tick() {
 		if n%8 == 0 {
 			c.requestReportsLocked()
 		}
+		// Timed ledger sync: catches ingest-only progress (routed flows
+		// buffering for orphaned shards) between report merges.
+		if n%c.cfg.ledgerEvery() == 0 {
+			c.saveLedgerLocked()
+		}
 		c.mu.Unlock()
 	}
 }
 
-// Serve accepts worker connections until the listener closes.
+// Serve accepts worker connections until the listener closes or the
+// coordinator shuts down. Transient accept failures (including injected
+// ones — the loop is faultnet-Listener compatible) are counted, journaled,
+// and retried with capped backoff; only a closed listener or coordinator
+// ends the loop.
 func (c *Coordinator) Serve(ln net.Listener) error {
+	bo := retry.New(10*time.Millisecond, time.Second, 0, 0)
+	fails := 0
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			c.mu.Lock()
+			closed := c.closed
+			c.acceptErrors++
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			fails++
+			c.cfg.Telemetry.Recordf(obs.EventAcceptError,
+				"accept failed (attempt %d): %v", fails, err)
+			time.Sleep(bo.Next(fails))
+			continue
 		}
+		fails = 0
 		c.AddConn(conn)
 	}
 }
 
 // AddConn hands one worker connection to the coordinator, which owns it
-// from here on. The link joins the cluster once its Hello arrives.
+// from here on. The connection is challenged immediately; the link joins
+// the cluster only once an authenticated hello arrives within the hello
+// timeout. Connections beyond the MaxConns cap are closed on the spot.
 func (c *Coordinator) AddConn(conn net.Conn) {
-	l := &link{conn: conn, out: make(chan []byte, outboundDepth), dead: make(chan struct{})}
+	nonce := make([]byte, challengeNonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		// No entropy, no auth: refuse rather than accept an unprovable peer.
+		conn.Close()
+		return
+	}
+	l := &link{
+		conn: conn, nonce: nonce,
+		out:  make(chan []byte, outboundDepth),
+		ctrl: make(chan []byte, outboundDepth),
+		dead: make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.closed || c.conns >= c.cfg.maxConns() {
+		rejected := !c.closed
+		if rejected {
+			c.connsRejected++
+		}
+		c.mu.Unlock()
+		if rejected {
+			c.cfg.Telemetry.Recordf(obs.EventConnRejected,
+				"connection closed at the %d-conn cap", c.cfg.maxConns())
+		}
+		conn.Close()
+		return
+	}
+	c.conns++
+	c.mu.Unlock()
+	l.ctrl <- encodeChallenge(nonce) // fresh queue; never blocks
 	go c.writeLoop(l)
 	go c.readLoop(l)
 }
 
+// authFail drops an unauthenticated connection, counting and journaling
+// the reason.
+func (c *Coordinator) authFail(l *link, identity bool, reason string) {
+	c.mu.Lock()
+	if identity {
+		c.identityRejects++
+	} else {
+		c.authFailures++
+	}
+	c.mu.Unlock()
+	c.cfg.Telemetry.Recordf(obs.EventAuthFailure, "%s; dropping connection", reason)
+	c.killLink(l, reason)
+}
+
 func (c *Coordinator) writeLoop(l *link) {
+	write := func(frame []byte) bool {
+		if err := l.conn.SetWriteDeadline(time.Now().Add(c.cfg.deadline())); err != nil {
+			c.killLink(l, "set write deadline: "+err.Error())
+			return false
+		}
+		if err := writeFrame(l.conn, frame); err != nil {
+			c.killLink(l, "write: "+err.Error())
+			return false
+		}
+		l.written.Add(1)
+		return true
+	}
 	for {
+		// Control plane first: a backlog of flow batches must not delay
+		// heartbeats, assigns, or report requests.
 		select {
-		case frame := <-l.out:
-			if err := l.conn.SetWriteDeadline(time.Now().Add(c.cfg.deadline())); err != nil {
-				c.killLink(l, "set write deadline: "+err.Error())
+		case frame := <-l.ctrl:
+			if !write(frame) {
 				return
 			}
-			if err := writeFrame(l.conn, frame); err != nil {
-				c.killLink(l, "write: "+err.Error())
+			continue
+		case <-l.dead:
+			return
+		default:
+		}
+		select {
+		case frame := <-l.ctrl:
+			if !write(frame) {
+				return
+			}
+		case frame := <-l.out:
+			if !write(frame) {
 				return
 			}
 		case <-l.dead:
@@ -293,19 +705,35 @@ func (c *Coordinator) writeLoop(l *link) {
 }
 
 func (c *Coordinator) readLoop(l *link) {
-	// The first frame must be a Hello; only then does the link join.
-	body, err := readFrame(l.conn, time.Now().Add(c.cfg.deadline()))
+	// The first frame must be an authenticated hello, inside the hello
+	// timeout — the pre-auth read deadline that stops an idle connection
+	// from squatting a conn slot.
+	body, err := readFrame(l.conn, time.Now().Add(c.cfg.helloTimeout()))
 	if err != nil || len(body) == 0 || body[0] != msgHello {
-		c.killLink(l, "no hello")
+		c.authFail(l, false, "no hello before deadline")
 		return
 	}
-	name, err := decodeHello(body)
+	hello, err := decodeHello(body)
 	if err != nil {
-		c.killLink(l, "bad hello")
+		c.authFail(l, false, "malformed hello: "+err.Error())
 		return
 	}
-	l.name = name
-	c.join(l)
+	if hello.identity == "" {
+		c.authFail(l, false, "hello with empty identity")
+		return
+	}
+	want := helloMAC(c.cfg.Secret, l.nonce, hello.identity, hello.name)
+	if !hmac.Equal(want, hello.mac) {
+		// Wrong secret, or a hello captured from another connection: the
+		// MAC binds to this connection's nonce, so replays land here too.
+		c.authFail(l, false, fmt.Sprintf("hello MAC mismatch for identity %q", hello.identity))
+		return
+	}
+	l.id = hello.identity
+	l.name = hello.name
+	if !c.join(l) {
+		return
+	}
 
 	for {
 		body, err := readFrame(l.conn, time.Now().Add(c.cfg.deadline()))
@@ -342,20 +770,33 @@ func (c *Coordinator) readLoop(l *link) {
 	}
 }
 
-func (c *Coordinator) join(l *link) {
+func (c *Coordinator) join(l *link) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		go c.killLink(l, "coordinator closed")
-		return
+		return false
+	}
+	for other := range c.links {
+		if other.id == l.id {
+			// A second connection claiming a live identity is a zombie (or
+			// an impostor who stole the secret): the established link wins,
+			// and a genuinely redialing worker gets in once its old link
+			// dies at the heartbeat deadline.
+			c.mu.Unlock()
+			c.authFail(l, true, fmt.Sprintf("identity %q already connected as %s", l.id, other.label()))
+			return false
+		}
 	}
 	c.links[l] = struct{}{}
 	c.cfg.Telemetry.Recordf(obs.EventWorkerJoin, "%s joined (%d links)", l.label(), len(c.links))
 	if c.epochFull != nil {
-		c.trySendLocked(l, c.epochFull)
+		c.sendCtrlLocked(l, c.epochFull)
 	}
 	c.rebalanceLocked()
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	return true
 }
 
 // killLink tears a link down and orphans its shards; rebalancing reassigns
@@ -363,6 +804,10 @@ func (c *Coordinator) join(l *link) {
 // Idempotent, and safe to call before the link ever joined.
 func (c *Coordinator) killLink(l *link, reason string) {
 	c.mu.Lock()
+	if !l.released {
+		l.released = true
+		c.conns--
+	}
 	_, joined := c.links[l]
 	delete(c.links, l)
 	if joined {
@@ -371,6 +816,7 @@ func (c *Coordinator) killLink(l *link, reason string) {
 			if s.owner == l {
 				s.owner = nil
 				s.revoking = false
+				s.revokePending = false
 				s.sentCursor = s.ackBase
 				c.handoffs++
 				c.cfg.Telemetry.Recordf(obs.EventShardHandoff,
@@ -409,8 +855,10 @@ func (c *Coordinator) rebalanceLocked() {
 		return
 	}
 	owned := make(map[*link]int, len(c.links))
+	byID := make(map[string]*link, len(c.links))
 	for l := range c.links {
 		owned[l] = 0
+		byID[l.id] = l
 	}
 	for _, s := range c.shards {
 		if s.owner != nil {
@@ -425,6 +873,22 @@ func (c *Coordinator) rebalanceLocked() {
 			}
 		}
 		return best
+	}
+	// Reclaim pass: an orphaned shard goes back to its last owner's
+	// identity when that worker is connected — a redialing (or
+	// restarted-coordinator) worker resumes exactly the shards it held,
+	// instead of being treated as a stranger in the load-spread pass.
+	for _, s := range c.shards {
+		if s.owner != nil || s.lastOwner == "" {
+			continue
+		}
+		if l, ok := byID[s.lastOwner]; ok {
+			c.reclaims++
+			c.cfg.Telemetry.Recordf(obs.EventShardReclaim,
+				"shard %d reclaimed by %s", s.id, l.label())
+			c.assignLocked(s, l)
+			owned[l]++
+		}
 	}
 	for _, s := range c.shards {
 		if s.owner == nil {
@@ -455,7 +919,9 @@ func (c *Coordinator) rebalanceLocked() {
 				c.cfg.Telemetry.Recordf(obs.EventShardRevoke,
 					"shard %d revoked from %s for rebalance", s.id, max.label())
 				if !c.trySendLocked(max, encodeShardOnly(msgRevoke, s.id)) {
-					go c.killLink(max, "outbound queue full at revoke")
+					// Queue full of flow batches the revoke must trail;
+					// the ticker retries once the writer drains room.
+					s.revokePending = true
 				}
 				owned[max]--
 				moved = true
@@ -477,7 +943,9 @@ func (c *Coordinator) flushRevokedLocked(s *shardState) {
 
 func (c *Coordinator) assignLocked(s *shardState, l *link) {
 	s.owner = l
+	s.lastOwner = l.id
 	s.revoking = false
+	s.revokePending = false
 	s.sentCursor = s.ackBase
 	m := assignMsg{
 		shard:      s.id,
@@ -486,8 +954,8 @@ func (c *Coordinator) assignLocked(s *shardState, l *link) {
 		bucket:     int64(c.cfg.Bucket),
 		checkpoint: s.lastReport,
 	}
-	if !c.trySendLocked(l, encodeAssign(m)) {
-		go c.killLink(l, "outbound queue full at assign")
+	if !c.sendCtrlLocked(l, encodeAssign(m)) {
+		go c.killLink(l, "control queue full at assign")
 		return
 	}
 	c.cfg.Telemetry.Recordf(obs.EventShardAssign,
@@ -508,11 +976,34 @@ func (c *Coordinator) trySendLocked(l *link, frame []byte) bool {
 	}
 }
 
+// sendCtrlLocked enqueues a control-plane frame. The ctrl queue only backs
+// up when the writer itself is stalled for a long time (control traffic is
+// low-volume), so a full ctrl queue genuinely means a dead peer.
+func (c *Coordinator) sendCtrlLocked(l *link, frame []byte) bool {
+	select {
+	case l.ctrl <- frame:
+		return true
+	case <-l.dead:
+		return false
+	default:
+		return false
+	}
+}
+
 // flushShardLocked frames the unsent suffix of the replay buffer to the
 // shard's owner, chunked to the configured batch size.
 func (c *Coordinator) flushShardLocked(s *shardState) {
-	if s.owner != nil && !s.revoking {
+	if s.owner == nil {
+		return
+	}
+	if !s.revoking {
 		c.flushToOwnerLocked(s)
+		return
+	}
+	// A revoke that found the queue full waits here, still ordered behind
+	// the flow batches that preceded it.
+	if s.revokePending && c.trySendLocked(s.owner, encodeShardOnly(msgRevoke, s.id)) {
+		s.revokePending = false
 	}
 }
 
@@ -528,11 +1019,17 @@ func (c *Coordinator) flushToOwnerLocked(s *shardState) {
 			n = batch
 		}
 		off := s.sentCursor - s.ackBase
-		frame := encodeFlows(flowsMsg{
+		m := flowsMsg{
 			shard: s.id,
 			base:  s.sentCursor,
 			flows: s.replay[off : off+n],
-		})
+		}
+		var frame []byte
+		if c.cfg.Compress {
+			frame = encodeFlowsZ(m)
+		} else {
+			frame = encodeFlows(m)
+		}
 		if !c.trySendLocked(l, frame) {
 			// Outbound queue full: leave the suffix buffered; the ticker
 			// retries, and a persistently full queue kills the link at the
@@ -592,12 +1089,15 @@ func (c *Coordinator) DistributeEpoch(rib *bgp.RIB) (uint64, error) {
 		// full frame as authoritative.
 	}
 	for l := range c.links {
-		if !c.trySendLocked(l, frame) {
-			go c.killLink(l, "outbound queue full at epoch")
+		if !c.sendCtrlLocked(l, frame) {
+			go c.killLink(l, "control queue full at epoch")
 		}
 	}
 	c.cfg.Telemetry.Recordf(obs.EventClusterEpoch,
 		"epoch %d distributed (full=%v, %d announcements)", c.epochSeq, full, len(anns))
+	// The epoch is part of the durable state: a resumed coordinator must
+	// re-admit workers with the same routing tables, not a stale set.
+	c.saveLedgerLocked()
 	return c.epochSeq, nil
 }
 
@@ -628,10 +1128,16 @@ func (c *Coordinator) handleReport(l *link, m reportMsg) {
 	s.lastReport = m.checkpoint
 	if m.final && s.revoking {
 		s.owner = nil
+		// A graceful move must stick: the revoked owner stays connected,
+		// so leaving its identity here would reclaim the shard right back.
+		s.lastOwner = ""
 		s.revoking = false
 		s.sentCursor = s.ackBase
 		c.rebalanceLocked()
 	}
+	// A merged report is the durability point handoff resumes from — the
+	// moment worth persisting.
+	c.saveLedgerLocked()
 	c.cond.Broadcast()
 }
 
@@ -643,9 +1149,9 @@ func (c *Coordinator) requestReportsLocked() {
 			continue
 		}
 		c.flushToOwnerLocked(s)
-		if !c.trySendLocked(s.owner, encodeShardOnly(msgReportReq, s.id)) {
-			go c.killLink(s.owner, "outbound queue full at report request")
-		}
+		// Report requests recur (every few beats and from Checkpoint), so a
+		// full control queue just skips this round.
+		c.sendCtrlLocked(s.owner, encodeShardOnly(msgReportReq, s.id))
 	}
 }
 
@@ -700,12 +1206,28 @@ func (c *Coordinator) Checkpoint(ctx context.Context) (*core.Checkpoint, error) 
 		degraded = degraded || cp.Degraded
 	}
 	c.checkpoints++
+	epoch, swaps := c.epochSeq, c.epochSeq
+	if base := c.cfg.Resume; base != nil {
+		// Fold the baseline a resumed run continues from. Epoch and Swaps
+		// take the max — matching single-process resume, which restores the
+		// saved counters and does not count re-promotion as a new swap.
+		merged.Merge(base.Agg)
+		total += base.Processed
+		stale += base.StaleVerdicts
+		degraded = degraded || base.Degraded
+		if uint64(base.Epoch) > epoch {
+			epoch = uint64(base.Epoch)
+		}
+		if base.Swaps > swaps {
+			swaps = base.Swaps
+		}
+	}
 	return &core.Checkpoint{
 		Ingested:      total,
 		Queued:        total,
 		Processed:     total,
-		Epoch:         core.Epoch(c.epochSeq),
-		Swaps:         c.epochSeq,
+		Epoch:         core.Epoch(epoch),
+		Swaps:         swaps,
 		StaleVerdicts: stale,
 		Degraded:      degraded,
 		Agg:           merged,
@@ -724,14 +1246,22 @@ func (c *Coordinator) behindLocked() int {
 
 // Stats is a point-in-time cluster summary for tests and operators.
 type Stats struct {
-	Workers      int
-	Orphaned     int
-	ReplayFlows  int
-	FlowsRouted  uint64
-	Handoffs     uint64
-	Rebalances   uint64
-	StaleReports uint64
-	EpochSeq     uint64
+	Workers         int
+	Conns           int
+	Orphaned        int
+	ReplayFlows     int
+	FlowsRouted     uint64
+	Handoffs        uint64
+	Rebalances      uint64
+	Reclaims        uint64
+	StaleReports    uint64
+	EpochSeq        uint64
+	AuthFailures    uint64
+	IdentityRejects uint64
+	ConnsRejected   uint64
+	AcceptErrors    uint64
+	LedgerWrites    uint64
+	LedgerErrors    uint64
 }
 
 // Stats snapshots the coordinator counters.
@@ -739,13 +1269,21 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Workers:      len(c.links),
-		Orphaned:     c.orphanedLocked(),
-		FlowsRouted:  c.flowsRouted,
-		Handoffs:     c.handoffs,
-		Rebalances:   c.rebalances,
-		StaleReports: c.staleReports,
-		EpochSeq:     c.epochSeq,
+		Workers:         len(c.links),
+		Conns:           c.conns,
+		Orphaned:        c.orphanedLocked(),
+		FlowsRouted:     c.flowsRouted,
+		Handoffs:        c.handoffs,
+		Rebalances:      c.rebalances,
+		Reclaims:        c.reclaims,
+		StaleReports:    c.staleReports,
+		EpochSeq:        c.epochSeq,
+		AuthFailures:    c.authFailures,
+		IdentityRejects: c.identityRejects,
+		ConnsRejected:   c.connsRejected,
+		AcceptErrors:    c.acceptErrors,
+		LedgerWrites:    c.ledgerWrites,
+		LedgerErrors:    c.ledgerErrors,
 	}
 	for _, s := range c.shards {
 		st.ReplayFlows += len(s.replay)
@@ -753,9 +1291,16 @@ func (c *Coordinator) Stats() Stats {
 	return st
 }
 
-// Close tears down every link and stops the ticker.
+// Close tears down every link and stops the ticker. It does not force a
+// final ledger write — Close is crash-equivalent by design, so tests that
+// kill a coordinator and tests that close one exercise the same resume
+// path; call SyncLedger first for a graceful shutdown.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	c.closed = true
 	ls := make([]*link, 0, len(c.links))
 	for l := range c.links {
@@ -765,5 +1310,9 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	for _, l := range ls {
 		c.killLink(l, "coordinator closed")
+	}
+	if c.ledgerStop != nil {
+		close(c.ledgerStop)
+		<-c.ledgerDone
 	}
 }

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spoofscope/internal/bgp"
+)
+
+func testLedger() *ledger {
+	flows := testFlows(7)
+	return &ledger{
+		startNanos: tcStart.UnixNano(),
+		bucket:     int64(time.Hour),
+		epochSeq:   5,
+		haveFP:     true,
+		lastFP: bgp.Fingerprint{
+			Paths: bgp.Digest{Sum: 11, Xor: 22, Count: 33},
+			Anns:  bgp.Digest{Sum: 44, Xor: 55, Count: 66},
+		},
+		epochFull:   []byte("full-epoch-frame"),
+		flowsRouted: 100 + 40,
+		shards: []ledgerShard{
+			{cursor: 100, ackBase: 95, lastOwner: "node-1", lastReport: []byte("cp-1"), replay: flows[:5]},
+			{cursor: 40, ackBase: 38, lastOwner: "", lastReport: nil, replay: flows[5:]},
+		},
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	lg := testLedger()
+	got, err := decodeLedger(encodeLedger(lg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.startNanos != lg.startNanos || got.bucket != lg.bucket ||
+		got.epochSeq != lg.epochSeq || got.haveFP != lg.haveFP ||
+		got.lastFP != lg.lastFP || got.flowsRouted != lg.flowsRouted {
+		t.Fatalf("ledger header round trip mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.epochFull, lg.epochFull) {
+		t.Fatal("epoch frame did not survive the codec")
+	}
+	if len(got.shards) != len(lg.shards) {
+		t.Fatalf("shard count %d, want %d", len(got.shards), len(lg.shards))
+	}
+	for i := range lg.shards {
+		w, g := &lg.shards[i], &got.shards[i]
+		if g.cursor != w.cursor || g.ackBase != w.ackBase || g.lastOwner != w.lastOwner ||
+			!bytes.Equal(g.lastReport, w.lastReport) || len(g.replay) != len(w.replay) {
+			t.Fatalf("shard %d round trip mismatch: %+v", i, g)
+		}
+		for j := range w.replay {
+			if !g.replay[j].Start.Equal(w.replay[j].Start) || g.replay[j].SrcAddr != w.replay[j].SrcAddr ||
+				g.replay[j].Bytes != w.replay[j].Bytes || g.replay[j].Ingress != w.replay[j].Ingress {
+				t.Fatalf("shard %d replay flow %d did not survive", i, j)
+			}
+		}
+	}
+}
+
+func TestLedgerRejectsDamage(t *testing.T) {
+	body := encodeLedger(testLedger())
+
+	if _, err := decodeLedger([]byte("NOTALEDGER")); err == nil {
+		t.Fatal("foreign bytes decoded as a ledger")
+	}
+
+	versioned := append([]byte(nil), body...)
+	versioned[len(ledgerMagic)-1] = 99
+	if _, err := decodeLedger(versioned); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+
+	for _, cut := range []int{len(ledgerMagic) + 3, len(body) / 2, len(body) - 1} {
+		if _, err := decodeLedger(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	if _, err := decodeLedger(append(append([]byte(nil), body...), 0xEE)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+
+	// Tampered feed position: the sum-of-cursors consistency check must
+	// catch a flowsRouted that disagrees with the shards.
+	lg := testLedger()
+	lg.flowsRouted++
+	if _, err := decodeLedger(encodeLedger(lg)); err == nil {
+		t.Fatal("inconsistent flowsRouted accepted")
+	}
+
+	// Replay span must cover exactly [ackBase, cursor).
+	lg = testLedger()
+	lg.shards[0].ackBase--
+	if _, err := decodeLedger(encodeLedger(lg)); err == nil {
+		t.Fatal("replay shorter than the cursor span accepted")
+	}
+}
+
+func TestLedgerFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.ledger")
+	lg := testLedger()
+	if err := writeLedgerFile(path, encodeLedger(lg)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.flowsRouted != lg.flowsRouted || got.epochSeq != lg.epochSeq {
+		t.Fatalf("ledger file round trip mismatch: %+v", got)
+	}
+
+	// Overwrite must be atomic-by-rename: the new content fully replaces
+	// the old.
+	lg.epochSeq = 9
+	lg.shards[1].lastOwner = "node-2"
+	if err := writeLedgerFile(path, encodeLedger(lg)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.epochSeq != 9 || got.shards[1].lastOwner != "node-2" {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+}
+
+func TestLedgerValidate(t *testing.T) {
+	lg := testLedger()
+	good := &Config{Shards: 2, Start: tcStart, Bucket: time.Hour}
+	if err := lg.validate(good); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	if err := lg.validate(&Config{Shards: 3, Start: tcStart, Bucket: time.Hour}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if err := lg.validate(&Config{Shards: 2, Start: tcStart.Add(time.Minute), Bucket: time.Hour}); err == nil {
+		t.Fatal("start-time mismatch accepted")
+	}
+	if err := lg.validate(&Config{Shards: 2, Start: tcStart, Bucket: time.Minute}); err == nil {
+		t.Fatal("bucket mismatch accepted")
+	}
+}

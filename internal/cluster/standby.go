@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"spoofscope/internal/obs"
+)
+
+// StandbyConfig configures a warm-standby coordinator.
+type StandbyConfig struct {
+	// Coordinator is the configuration the standby promotes itself with. It
+	// must match the primary's (same Shards, Start, Bucket, Secret) and its
+	// LedgerPath must point at the ledger the primary persists — that file
+	// is the entire handoff channel between the two.
+	Coordinator Config
+	// Listen attempts to bind the cluster's listen address. While the
+	// primary is alive the bind fails (address in use); the first success
+	// IS the death signal, because the primary holds the address for its
+	// whole life. Using bind acquisition as the failover lock means at most
+	// one coordinator ever accepts workers.
+	Listen func() (net.Listener, error)
+	// Poll paces bind attempts and ledger tailing (default 250ms).
+	Poll time.Duration
+}
+
+func (c *StandbyConfig) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.Poll
+}
+
+// RunStandby runs the warm-standby loop: it tails the persisted shard
+// ledger (staying ready to promote even if the shared disk briefly lags)
+// and repeatedly tries to bind the cluster address. When the bind succeeds
+// — the primary is gone — it promotes: builds a coordinator from the
+// freshest ledger and returns it with the held listener, ready for Serve.
+// Workers redial through their own retry schedules and reclaim their
+// shards by identity, so exactly-once merge holds across the takeover.
+//
+// The returned listener is NOT being served yet; the caller runs
+// coordinator.Serve(ln), keeping the serve loop under its own lifecycle.
+// RunStandby returns ctx.Err() if cancelled before promotion.
+func RunStandby(ctx context.Context, cfg StandbyConfig) (*Coordinator, net.Listener, error) {
+	if cfg.Listen == nil {
+		return nil, nil, fmt.Errorf("cluster: StandbyConfig.Listen is required")
+	}
+	if cfg.Coordinator.LedgerPath == "" {
+		return nil, nil, fmt.Errorf("cluster: standby requires a LedgerPath to tail")
+	}
+	tel := cfg.Coordinator.Telemetry
+	t := time.NewTicker(cfg.poll())
+	defer t.Stop()
+	// warm is the freshest ledger snapshot successfully read; promotion
+	// falls back to it if the final read races a primary write and fails.
+	var warm *ledger
+	for {
+		if lg, err := loadLedgerFile(cfg.Coordinator.LedgerPath); err == nil {
+			warm = lg
+		}
+		ln, err := cfg.Listen()
+		if err == nil {
+			// Primary is dead. Prefer the ledger as it is on disk right
+			// now — the primary cannot write again — over the warm copy.
+			lg, lerr := loadLedgerFile(cfg.Coordinator.LedgerPath)
+			if lerr != nil {
+				lg = warm
+			}
+			coord, cerr := newCoordinator(cfg.Coordinator, lg)
+			if cerr != nil {
+				ln.Close()
+				return nil, nil, cerr
+			}
+			routed := uint64(0)
+			if lg != nil {
+				routed = lg.flowsRouted
+			}
+			tel.Recordf(obs.EventTakeover,
+				"standby promoted on %s: resuming at %d flows routed", ln.Addr(), routed)
+			return coord, ln, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -19,11 +19,16 @@
 package cluster
 
 import (
+	"bytes"
+	"compress/flate"
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"spoofscope/internal/bgp"
@@ -34,14 +39,16 @@ import (
 
 // Message types. The one-byte tag leads every frame body.
 const (
-	msgHello     = 1 // worker → coordinator: name
-	msgEpoch     = 2 // coordinator → worker: routing state (full or bump)
-	msgAssign    = 3 // coordinator → worker: shard ownership + resume state
-	msgRevoke    = 4 // coordinator → worker: drain shard, send final report
-	msgFlows     = 5 // coordinator → worker: a batch of shard flows
-	msgReportReq = 6 // coordinator → worker: request a quiescent report
-	msgReport    = 7 // worker → coordinator: shard checkpoint
-	msgHeartbeat = 8 // both directions: liveness
+	msgHello     = 1  // worker → coordinator: authenticated identity
+	msgEpoch     = 2  // coordinator → worker: routing state (full or bump)
+	msgAssign    = 3  // coordinator → worker: shard ownership + resume state
+	msgRevoke    = 4  // coordinator → worker: drain shard, send final report
+	msgFlows     = 5  // coordinator → worker: a batch of shard flows
+	msgReportReq = 6  // coordinator → worker: request a quiescent report
+	msgReport    = 7  // worker → coordinator: shard checkpoint
+	msgHeartbeat = 8  // both directions: liveness
+	msgChallenge = 9  // coordinator → worker: auth nonce, first frame on a conn
+	msgFlowsZ    = 10 // coordinator → worker: a flate-compressed flow batch
 )
 
 // maxFrame bounds a frame body so a corrupted length prefix cannot force
@@ -203,19 +210,72 @@ func (r *reader) flow() ipfix.Flow {
 
 // --- message codecs --------------------------------------------------------
 
-func encodeHello(name string) []byte {
-	b := []byte{msgHello}
-	b = appendU32(b, uint32(len(name)))
-	return append(b, name...)
+// challengeNonceLen is the size of the per-connection auth nonce. The
+// coordinator sends a fresh nonce as the first frame on every accepted
+// connection; the hello's MAC binds to it, so a captured hello cannot be
+// replayed on a later connection.
+const challengeNonceLen = 32
+
+func encodeChallenge(nonce []byte) []byte {
+	b := []byte{msgChallenge}
+	b = appendU32(b, uint32(len(nonce)))
+	return append(b, nonce...)
 }
 
-func decodeHello(body []byte) (string, error) {
+func decodeChallenge(body []byte) ([]byte, error) {
 	r := &reader{b: body[1:]}
-	name := r.bytes()
+	nonce := append([]byte(nil), r.bytes()...)
 	if err := r.done(); err != nil {
-		return "", err
+		return nil, err
 	}
-	return string(name), nil
+	if len(nonce) != challengeNonceLen {
+		return nil, fmt.Errorf("cluster: challenge nonce is %d bytes, want %d", len(nonce), challengeNonceLen)
+	}
+	return nonce, nil
+}
+
+// helloMsg authenticates a worker. Identity is the stable name the worker
+// keeps across restarts — the key shard reclaim matches on; name is the
+// display label. MAC is HMAC-SHA256 over the challenge nonce plus the
+// length-prefixed identity and name, keyed by the cluster's shared secret,
+// so a hello proves possession of the secret and binds to this connection.
+type helloMsg struct {
+	identity string
+	name     string
+	mac      []byte
+}
+
+// helloMAC computes the hello authenticator for one challenge nonce.
+func helloMAC(secret, nonce []byte, identity, name string) []byte {
+	h := hmac.New(sha256.New, secret)
+	h.Write(nonce)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(identity)))
+	h.Write(n[:])
+	h.Write([]byte(identity))
+	binary.BigEndian.PutUint32(n[:], uint32(len(name)))
+	h.Write(n[:])
+	h.Write([]byte(name))
+	return h.Sum(nil)
+}
+
+func encodeHello(m helloMsg) []byte {
+	b := []byte{msgHello}
+	b = appendU32(b, uint32(len(m.identity)))
+	b = append(b, m.identity...)
+	b = appendU32(b, uint32(len(m.name)))
+	b = append(b, m.name...)
+	b = appendU32(b, uint32(len(m.mac)))
+	return append(b, m.mac...)
+}
+
+func decodeHello(body []byte) (helloMsg, error) {
+	r := &reader{b: body[1:]}
+	var m helloMsg
+	m.identity = string(r.bytes())
+	m.name = string(r.bytes())
+	m.mac = append([]byte(nil), r.bytes()...)
+	return m, r.done()
 }
 
 // epochMsg is a routing-state distribution. Full carries the announcement
@@ -360,7 +420,47 @@ func encodeFlows(m flowsMsg) []byte {
 	return b
 }
 
+// Deflate state is expensive to build (the writer alone is ~1MB of window
+// and hash tables), so both ends recycle it. At small frame batches the
+// per-frame constructor cost would otherwise dominate the transport.
+var flateWriters = sync.Pool{New: func() any {
+	zw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	return zw
+}}
+
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// encodeFlowsZ is the compressed variant: the flow array is deflated in
+// one length-prefixed block. Flow records share most of their bytes
+// (timestamps, prefixes, zero padding), so batches compress well; the raw
+// length travels alongside so the decoder can preflight its allocation.
+func encodeFlowsZ(m flowsMsg) []byte {
+	raw := make([]byte, 0, len(m.flows)*flowWireLen)
+	for _, f := range m.flows {
+		raw = appendFlow(raw, f)
+	}
+	var z bytes.Buffer
+	zw := flateWriters.Get().(*flate.Writer)
+	zw.Reset(&z)
+	zw.Write(raw)
+	zw.Close()
+	flateWriters.Put(zw)
+	b := make([]byte, 0, 1+4+8+4+4+4+z.Len())
+	b = append(b, msgFlowsZ)
+	b = appendU32(b, m.shard)
+	b = appendU64(b, m.base)
+	b = appendU32(b, uint32(len(m.flows)))
+	b = appendU32(b, uint32(len(raw)))
+	b = appendU32(b, uint32(z.Len()))
+	return append(b, z.Bytes()...)
+}
+
 func decodeFlows(body []byte) (flowsMsg, error) {
+	if body[0] == msgFlowsZ {
+		return decodeFlowsZ(body)
+	}
 	r := &reader{b: body[1:]}
 	var m flowsMsg
 	m.shard = r.u32()
@@ -374,6 +474,41 @@ func decodeFlows(body []byte) (flowsMsg, error) {
 		m.flows = append(m.flows, r.flow())
 	}
 	return m, r.done()
+}
+
+func decodeFlowsZ(body []byte) (flowsMsg, error) {
+	r := &reader{b: body[1:]}
+	var m flowsMsg
+	m.shard = r.u32()
+	m.base = r.u64()
+	n := int(r.u32())
+	rawLen := int(r.u32())
+	comp := r.bytes()
+	if err := r.done(); err != nil {
+		return m, err
+	}
+	if n*flowWireLen != rawLen || rawLen > maxFrame {
+		return m, fmt.Errorf("cluster: compressed flow batch claims %d flows, %d raw bytes", n, rawLen)
+	}
+	raw := make([]byte, 0, rawLen)
+	zr := flateReaders.Get().(io.ReadCloser)
+	zr.(flate.Resetter).Reset(bytes.NewReader(comp), nil)
+	buf := bytes.NewBuffer(raw)
+	if _, err := io.Copy(buf, io.LimitReader(zr, int64(rawLen)+1)); err != nil {
+		flateReaders.Put(zr)
+		return m, fmt.Errorf("cluster: inflating flow batch: %w", err)
+	}
+	zr.Close()
+	flateReaders.Put(zr)
+	if buf.Len() != rawLen {
+		return m, fmt.Errorf("cluster: compressed flow batch inflated to %d bytes, want %d", buf.Len(), rawLen)
+	}
+	fr := &reader{b: buf.Bytes()}
+	m.flows = make([]ipfix.Flow, 0, n)
+	for i := 0; i < n && fr.err == nil; i++ {
+		m.flows = append(m.flows, fr.flow())
+	}
+	return m, fr.done()
 }
 
 // reportMsg is a worker's quiescent shard checkpoint. Cursor is the shard

@@ -19,6 +19,13 @@ import (
 type WorkerConfig struct {
 	// Name identifies the worker in journals and metrics.
 	Name string
+	// Identity is the stable identity presented in the authenticated hello
+	// (default: Name). The coordinator keys shard reclaim on it, so a
+	// restarted worker daemon presenting the same identity resumes exactly
+	// the shards it held; two live workers must never share one.
+	Identity string
+	// Secret keys the hello HMAC; it must match the coordinator's.
+	Secret []byte
 	// Dial opens a connection to the coordinator; the worker redials it
 	// with capped, jittered backoff after every link failure.
 	Dial func() (net.Conn, error)
@@ -143,6 +150,13 @@ func (w *Worker) label() string {
 	return "worker"
 }
 
+func (w *Worker) identity() string {
+	if w.cfg.Identity != "" {
+		return w.cfg.Identity
+	}
+	return w.label()
+}
+
 // Run dials, serves, and redials until the context is cancelled or the
 // attempt budget is exhausted. The error is nil only on context
 // cancellation.
@@ -163,16 +177,13 @@ func (w *Worker) Run(ctx context.Context) error {
 					"%s giving up after %d dial attempts: %v", w.label(), attempt, err)
 				return fmt.Errorf("cluster: %s: redial budget exhausted: %w", w.label(), err)
 			}
-			d := w.backoff.Next(attempt)
 			w.mu.Lock()
 			w.reconnects++
 			w.mu.Unlock()
 			w.cfg.Telemetry.Recordf(obs.EventWorkerReconnect,
-				"%s dial failed (attempt %d, retry in %v): %v", w.label(), attempt, d, err)
-			select {
-			case <-ctx.Done():
+				"%s dial failed (attempt %d): %v", w.label(), attempt, err)
+			if w.backoff.Sleep(ctx, attempt) != nil {
 				return nil
-			case <-time.After(d):
 			}
 			continue
 		}
@@ -221,7 +232,20 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) error {
 		}
 	}
 
-	if !send(encodeHello(w.label())) {
+	// The coordinator challenges first; the hello answers it with an HMAC
+	// binding this connection's nonce to our identity, so a captured hello
+	// cannot be replayed on another connection.
+	body, err := readFrame(conn, time.Now().Add(w.cfg.deadline()))
+	if err != nil {
+		return fmt.Errorf("cluster: reading challenge: %w", err)
+	}
+	nonce, err := decodeChallenge(body)
+	if err != nil {
+		return err
+	}
+	hello := helloMsg{identity: w.identity(), name: w.label()}
+	hello.mac = helloMAC(w.cfg.Secret, nonce, hello.identity, hello.name)
+	if !send(encodeHello(hello)) {
 		return errors.New("cluster: session cancelled")
 	}
 
@@ -291,7 +315,7 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) error {
 			if err := w.applyAssign(sctx, m); err != nil {
 				return err
 			}
-		case msgFlows:
+		case msgFlows, msgFlowsZ:
 			m, err := decodeFlows(body)
 			if err != nil {
 				return err

@@ -256,15 +256,27 @@ type Listener struct {
 	inner net.Listener
 	plan  func(i int) Config
 
-	mu      sync.Mutex
-	accepts int
-	conns   []*Conn
+	mu         sync.Mutex
+	accepts    int
+	conns      []*Conn
+	acceptPlan func(i int) error
 }
 
 // WrapListener applies plan(i) to the i-th accepted connection (0-based).
 // A nil plan leaves every connection transparent.
 func WrapListener(ln net.Listener, plan func(i int) Config) *Listener {
 	return &Listener{inner: ln, plan: plan}
+}
+
+// SetAcceptPlan injects accept-path failures: when plan(i) returns a
+// non-nil error for the i-th accepted connection, that connection is closed
+// on the spot and Accept returns the error wrapped in ErrInjected — the
+// transient accept failure a serve loop must survive. Failed accepts still
+// consume a connection index.
+func (l *Listener) SetAcceptPlan(plan func(i int) error) {
+	l.mu.Lock()
+	l.acceptPlan = plan
+	l.mu.Unlock()
 }
 
 // Accept wraps the next inner connection in its scheduled faults.
@@ -276,7 +288,14 @@ func (l *Listener) Accept() (net.Conn, error) {
 	l.mu.Lock()
 	i := l.accepts
 	l.accepts++
+	aplan := l.acceptPlan
 	l.mu.Unlock()
+	if aplan != nil {
+		if aerr := aplan(i); aerr != nil {
+			conn.Close()
+			return nil, fmt.Errorf("%w: accept %d: %v", ErrInjected, i, aerr)
+		}
+	}
 	cfg := Config{}
 	if l.plan != nil {
 		cfg = l.plan(i)

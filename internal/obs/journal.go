@@ -38,6 +38,17 @@ const (
 	EventClusterRecovered    = "cluster-recovered"
 	EventWorkerReconnect     = "worker-reconnect"
 	EventStaleReportRejected = "stale-report-rejected"
+
+	// Durable deployment: authenticated transports, the persisted shard
+	// ledger, and coordinator failover.
+	EventAuthFailure  = "auth-failure"
+	EventConnRejected = "conn-rejected"
+	EventAcceptError  = "accept-error"
+	EventLedgerWrite  = "ledger-write"
+	EventLedgerError  = "ledger-error"
+	EventLedgerResume = "ledger-resume"
+	EventTakeover     = "coordinator-takeover"
+	EventShardReclaim = "shard-reclaim"
 )
 
 // Event is one structured journal entry.

@@ -7,6 +7,7 @@
 package retry
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -76,4 +77,19 @@ func (b *Backoff) Next(attempt int) time.Duration {
 		base = time.Millisecond
 	}
 	return base
+}
+
+// Sleep blocks for the attempt's delay or until the context is done,
+// returning the context error in the latter case. It is the redial wait
+// every supervised loop shares: backoff-paced, but immediately
+// interruptible by shutdown.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Next(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
