@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos cluster-tcp fuzz bench bench-smoke
+.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos cluster-tcp fuzz bench bench-smoke bench-compare bench-compare-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,9 @@ race:
 	$(GO) test -race ./...
 
 # verify is the CI entry point: static checks, the race-checked suite, the
-# parallel-compilation equivalence property, the observability smoke, and
-# the cluster chaos suite.
-verify: vet race closure-prop obs-smoke cluster-chaos cluster-tcp
+# parallel-compilation equivalence property, the observability smoke, the
+# cluster chaos suite, and the classify-baseline structural check.
+verify: vet race closure-prop obs-smoke cluster-chaos cluster-tcp bench-compare-smoke
 
 # closure-prop runs the parallel-closure property tests explicitly (random
 # cyclic topologies: ConeClosures at 1/2/4/8 workers must match the
@@ -57,14 +57,17 @@ cluster-tcp:
 # bench measures live-runtime consumption throughput (sequential Step loop
 # vs the batch-parallel consumer at 1/2/4/8 workers), pipeline compilation
 # latency (cold at 1/2/4/8 build workers and incremental, at paper and
-# ~50K-AS full-table scale), and the cluster flow transport over TCP
-# loopback (frame batch 1/64/512 × deflate off/on), recording the
-# machine-readable baseline in BENCH_runtime.json. The document carries the
-# recording host's CPU count, so single-core baselines are self-describing.
+# ~50K-AS full-table scale), the cluster flow transport over TCP loopback
+# (frame batch 1/64/512 × deflate off/on), and the single-core classify hot
+# path (perflow/batch256 × trie/flat indexes, with allocation counts),
+# recording the machine-readable baseline in BENCH_runtime.json. The
+# document carries the recording host's CPU count, so single-core baselines
+# are self-describing.
 bench:
 	( $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ; \
-	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport -benchtime=1x . ) \
+	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_runtime.json
 	cat BENCH_runtime.json
 
@@ -74,6 +77,22 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x .
 	SPOOFSCOPE_BENCH_SMOKE=1 $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x .
+
+# bench-compare remeasures the classify hot path and gates it against the
+# committed BENCH_runtime.json: any perflow/batch × trie/flat variant whose
+# flows/sec fell more than 15% below the baseline fails the target. Run it
+# on classifier or index changes; refresh the baseline with `make bench`
+# when a speedup (or an accepted cost) moves the numbers for real.
+bench-compare:
+	$(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . \
+		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json
+
+# bench-compare-smoke is the verify/CI variant: a single iteration proves
+# the benchmark still runs and every baseline classify variant still exists,
+# without judging single-shot numbers.
+bench-compare-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json -smoke
 
 # fuzz gives the stream-framing paths a short adversarial workout beyond the
 # seeded corpus that runs in `make test`.

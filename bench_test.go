@@ -142,6 +142,64 @@ func BenchmarkClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkClassifyHotPath is the classify-path ablation grid tracked in the
+// `classify` section of BENCH_runtime.json (`make bench`, regression-gated by
+// `make bench-compare`): per-flow vs batch-256 API × trie vs flat indexes
+// over the full default-scale trace. Every variant reports ns/flow and
+// flows/sec so the cells are directly comparable even though a batch
+// iteration covers 256 flows. perflow-trie is the pre-FlatLPM baseline;
+// batch256-flat is the production hot path (RunParallel's consumers and
+// ClassifyParallel both drain through it) and must stay at ~0 allocs/op —
+// classification itself touches only the pipeline's immutable slabs and the
+// caller's reused buffers.
+func BenchmarkClassifyHotPath(b *testing.B) {
+	env := benchEnvironment(b)
+	flows := env.Flows
+	var members []core.MemberInfo
+	for _, m := range env.Scenario.Members {
+		members = append(members, core.MemberInfo{ASN: m.ASN, Port: m.Port})
+	}
+	trie, err := core.NewPipeline(env.RIB, members, core.Options{
+		Orgs:        env.Scenario.Orgs().MultiASGroups(),
+		Routers:     env.Routers,
+		TrieIndexes: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pl := range []struct {
+		name string
+		p    *core.Pipeline
+	}{{"trie", trie}, {"flat", env.Pipeline}} {
+		b.Run("perflow-"+pl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.p.Classify(flows[i%len(flows)])
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(b.N), "ns/flow")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/sec")
+		})
+		b.Run("batch256-"+pl.name, func(b *testing.B) {
+			verdicts := make([]core.Verdict, core.ClassifyBatchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			processed := 0
+			for i := 0; i < b.N; i++ {
+				lo := (i * core.ClassifyBatchSize) % len(flows)
+				hi := lo + core.ClassifyBatchSize
+				if hi > len(flows) {
+					hi = len(flows)
+				}
+				pl.p.ClassifyBatch(flows[lo:hi], verdicts[:hi-lo])
+				processed += hi - lo
+			}
+			b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(processed), "ns/flow")
+			b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "flows/sec")
+		})
+	}
+}
+
 // BenchmarkClassifyAggregate includes the aggregation sink.
 func BenchmarkClassifyAggregate(b *testing.B) {
 	env := benchEnvironment(b)

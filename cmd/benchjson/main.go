@@ -10,11 +10,22 @@
 // pkg/cpu header lines and the recording host's CPU count are carried into
 // the document header, so a baseline measured on a single-core box cannot be
 // mistaken for one with real parallelism.
+//
+// With -diff <baseline.json> the tool compares instead of emitting: the
+// classify hot-path entries parsed from stdin are checked against the
+// committed baseline's classify section and the exit status is non-zero when
+// any variant's flows/sec regressed by more than 15% (`make bench-compare`).
+// -smoke relaxes the comparison to a structural check — every baseline
+// classify variant must still be produced by the fresh run, but single-
+// iteration numbers are reported without being judged — which is what `make
+// verify` and CI run.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"log"
 	"os"
 	"runtime"
@@ -66,6 +77,22 @@ type clusterSummary struct {
 	FlowsPerSec float64 `json:"flowsPerSec"`
 }
 
+// classifySummary surfaces the single-core classify hot-path benchmark
+// (BenchmarkClassifyHotPath/<path>-<index>) as a first-class section: one
+// entry per API path (perflow/batch256) and index layout (trie/flat) with
+// its ns/flow, flows/sec, and steady-state allocations. This is the section
+// `benchjson -diff` guards: the flat batch path is the live runtime's
+// consumption loop, so a throughput regression here is a production
+// regression.
+type classifySummary struct {
+	Benchmark   string  `json:"benchmark"`
+	Path        string  `json:"path"`  // "perflow" or "batch256"
+	Index       string  `json:"index"` // "trie" or "flat"
+	NsPerFlow   float64 `json:"nsPerFlow"`
+	FlowsPerSec float64 `json:"flowsPerSec"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
 type document struct {
 	GeneratedAt time.Time         `json:"generatedAt"`
 	GoVersion   string            `json:"goVersion"`
@@ -76,11 +103,15 @@ type document struct {
 	Latency     []latencySummary  `json:"latency,omitempty"`
 	Build       []buildSummary    `json:"build,omitempty"`
 	Cluster     []clusterSummary  `json:"cluster,omitempty"`
+	Classify    []classifySummary `json:"classify,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	diffPath := flag.String("diff", "", "compare the classify section parsed from stdin against this committed baseline instead of emitting JSON; exit non-zero on a >15% flows/sec regression")
+	smoke := flag.Bool("smoke", false, "with -diff: check structure only (every baseline classify variant must reappear), never fail on the numbers")
+	flag.Parse()
 	doc := document{
 		GeneratedAt: time.Now().UTC().Truncate(time.Second),
 		GoVersion:   runtime.Version(),
@@ -121,12 +152,115 @@ func main() {
 		if cs, ok := parseClusterEntry(b); ok {
 			doc.Cluster = append(doc.Cluster, cs)
 		}
+		if cl, ok := parseClassifyEntry(b); ok {
+			doc.Classify = append(doc.Classify, cl)
+		}
+	}
+	if *diffPath != "" {
+		if err := diffClassify(*diffPath, doc, *smoke); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// regressionTolerance is the fraction of baseline classify throughput a
+// fresh measurement may lose before `benchjson -diff` fails the build.
+const regressionTolerance = 0.15
+
+// diffClassify compares the classify entries of a fresh run (doc, parsed
+// from stdin) against the committed baseline at path. Every baseline
+// variant must reappear in the fresh run (a vanished benchmark is a broken
+// gate either way); in full mode a variant whose flows/sec fell more than
+// regressionTolerance below baseline fails, in smoke mode the numbers are
+// printed but not judged — single-iteration CI runs measure nothing.
+func diffClassify(path string, doc document, smoke bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w (regenerate with `make bench`)", err)
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Classify) == 0 {
+		return fmt.Errorf("baseline %s has no classify section; regenerate with `make bench`", path)
+	}
+	if len(doc.Classify) == 0 {
+		return fmt.Errorf("no BenchmarkClassifyHotPath entries on stdin")
+	}
+	fresh := make(map[string]classifySummary, len(doc.Classify))
+	for _, c := range doc.Classify {
+		fresh[c.Path+"-"+c.Index] = c
+	}
+	var failures []string
+	for _, b := range base.Classify {
+		key := b.Path + "-" + b.Index
+		c, ok := fresh[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run", key))
+			continue
+		}
+		delta := 0.0
+		if b.FlowsPerSec > 0 {
+			delta = (c.FlowsPerSec - b.FlowsPerSec) / b.FlowsPerSec
+		}
+		status := "ok"
+		if smoke {
+			status = "smoke"
+		} else if b.FlowsPerSec > 0 && c.FlowsPerSec < b.FlowsPerSec*(1-regressionTolerance) {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f flows/sec (%.1f%%)",
+				key, b.FlowsPerSec, c.FlowsPerSec, 100*delta))
+		}
+		fmt.Printf("classify %-14s %12.0f -> %12.0f flows/sec  %+6.1f%%  %s\n",
+			key, b.FlowsPerSec, c.FlowsPerSec, 100*delta, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("classify throughput gate failed (tolerance %.0f%%):\n  %s",
+			100*regressionTolerance, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// parseClassifyEntry lifts one BenchmarkClassifyHotPath/<path>-<index> entry
+// into a classifySummary. The variant is tried verbatim first and a trailing
+// numeric -P GOMAXPROCS suffix is stripped on failure, mirroring
+// parseClusterEntry.
+func parseClassifyEntry(b benchmark) (classifySummary, bool) {
+	variant, ok := strings.CutPrefix(b.Name, "BenchmarkClassifyHotPath/")
+	if !ok {
+		return classifySummary{}, false
+	}
+	if cl, ok := parseClassifyVariant(b, variant); ok {
+		return cl, true
+	}
+	if i := strings.LastIndex(variant, "-"); i >= 0 {
+		if _, err := strconv.Atoi(variant[i+1:]); err == nil {
+			return parseClassifyVariant(b, variant[:i])
+		}
+	}
+	return classifySummary{}, false
+}
+
+func parseClassifyVariant(b benchmark, variant string) (classifySummary, bool) {
+	path, index, ok := strings.Cut(variant, "-")
+	if !ok || (index != "trie" && index != "flat") {
+		return classifySummary{}, false
+	}
+	return classifySummary{
+		Benchmark:   b.Name,
+		Path:        path,
+		Index:       index,
+		NsPerFlow:   b.Metrics["ns/flow"],
+		FlowsPerSec: b.Metrics["flows/sec"],
+		AllocsPerOp: b.Metrics["allocs/op"],
+	}, true
 }
 
 // parseBuildEntry lifts one BenchmarkPipelineBuild/<scale>/<variant> entry

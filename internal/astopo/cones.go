@@ -290,6 +290,18 @@ func (n *NaiveIndex) ValidLPM(u int) *netx.LPM {
 	return netx.BuildLPM(n.prefixes[u], nil)
 }
 
+// ValidFlatLPM compiles AS u's valid space into the flat-slab form the
+// classification hot path uses (membership-only; values are irrelevant).
+func (n *NaiveIndex) ValidFlatLPM(u int) *netx.FlatLPM {
+	return netx.BuildFlatLPM(n.prefixes[u], nil)
+}
+
+// ValidPrefixes returns the distinct announced prefixes AS u is naively
+// valid for. The slice is owned by the index and must not be modified; the
+// classifier maps each prefix to its origins-table entry index to express
+// per-member validity as a bitset rather than a per-member LPM.
+func (n *NaiveIndex) ValidPrefixes(u int) []netx.Prefix { return n.prefixes[u] }
+
 // Sizes returns, indexed by AS index, the /24-equivalent size of each AS's
 // naive valid space (exact; total work is bounded by the sum of AS path
 // lengths over all announcements).

@@ -76,6 +76,17 @@ func (s *Set) Contains(a netx.Addr) bool {
 	return s.lpm.Contains(a)
 }
 
+// Prefixes returns the compiled prefix list, for callers that re-index the
+// set into another matcher shape (the classifier compiles it into a flat
+// slab for its hot path).
+func (s *Set) Prefixes() []netx.Prefix {
+	ps := make([]netx.Prefix, len(s.entries))
+	for i, e := range s.entries {
+		ps[i] = e.Prefix
+	}
+	return ps
+}
+
 // Match returns the bogon entry covering a, if any.
 func (s *Set) Match(a netx.Addr) (Entry, bool) {
 	if s.lpm == nil {

@@ -89,6 +89,21 @@ func (o Options) topologyKey() uint64 {
 	if o.DisableOrgMerge {
 		mix(1)
 	}
+	// Index mode is not topology-shaping, but reuse copies the compiled
+	// origin/naive indexes between epochs — a mode flip must force a cold
+	// build so a pipeline never mixes flat and trie indexes.
+	if o.TrieIndexes {
+		mix(2)
+	}
+	// The flat origin slab has the bogon prefixes merged in, so a bogon
+	// override is part of the compiled index and must block reuse too. nil
+	// (the reference set, the universal default) hashes as absent; an
+	// explicit set never matches it, which at worst costs one cold build.
+	if o.Bogons != nil {
+		for _, bp := range o.Bogons.Prefixes() {
+			mix(uint64(bp.Addr)<<8 | uint64(bp.Bits))
+		}
+	}
 	mix(math.Float64bits(o.PeerDegreeRatio))
 	mix(uint64(o.FullConeDepth))
 	for _, org := range o.Orgs {
@@ -151,22 +166,25 @@ func compilePipeline(prev *Pipeline, rib *bgp.RIB, members []MemberInfo, opts Op
 	p := &Pipeline{
 		bogons:  bogons,
 		anns:    anns,
-		routers: opts.Routers,
 		fp:      fp,
 		optsKey: key,
 	}
+	p.SetRouters(opts.Routers)
 
 	switch stats.Reuse {
 	case BuildReusedPipeline:
 		p.graph, p.full, p.cc, p.naive = prev.graph, prev.full, prev.cc, prev.naive
-		p.origins, p.originTab = prev.origins, prev.originTab
+		p.origins, p.originsLPM, p.originTab = prev.origins, prev.originsLPM, prev.originTab
+		p.bogonEntry = prev.bogonEntry
 		p.routedSpace = prev.routedSpace
 
 	case BuildReusedClosures:
 		p.graph, p.full, p.cc = prev.graph, prev.full, prev.cc
 		buildConcurrently(workers > 1,
 			func() { p.naive = astopo.NewNaiveIndex(p.graph, anns) },
-			func() { p.origins, p.originTab = buildOriginIndex(rib, p.graph) },
+			func() {
+				p.origins, p.originsLPM, p.originTab, p.bogonEntry = buildOriginIndex(rib, p.graph, bogons, opts.TrieIndexes)
+			},
 			func() { p.routedSpace = rib.RoutedSpace() },
 		)
 
@@ -202,7 +220,9 @@ func compilePipeline(prev *Pipeline, rib *bgp.RIB, members []MemberInfo, opts Op
 				}
 			},
 			func() { p.naive = astopo.NewNaiveIndex(graph, anns) },
-			func() { p.origins, p.originTab = buildOriginIndex(rib, graph) },
+			func() {
+				p.origins, p.originsLPM, p.originTab, p.bogonEntry = buildOriginIndex(rib, graph, bogons, opts.TrieIndexes)
+			},
 			func() { p.routedSpace = rib.RoutedSpace() },
 		)
 	}
@@ -241,11 +261,25 @@ func buildConcurrently(on bool, stages ...func()) {
 	wg.Wait()
 }
 
+// bogonSlot is the sentinel value bogon prefixes carry in the merged flat
+// origin slab; it is never a valid originTab index (the table would need
+// 2^32 distinct origins).
+const bogonSlot = ^uint32(0)
+
 // buildOriginIndex is the bulk variant of the origin-table re-key: resolve
-// each distinct origin ASN to an originTab slot once, then compile the LPM
+// each distinct origin ASN to an originTab slot once, then compile the index
 // straight from the sorted (prefix → slot) assignment — no intermediate
-// ASN-keyed trie, no Transform pass.
-func buildOriginIndex(rib *bgp.RIB, graph *astopo.Graph) (*netx.LPM, []originRef) {
+// ASN-keyed trie, no Transform pass. The flat slab is the default; the
+// pointer trie is kept behind Options.TrieIndexes as the ablation baseline.
+// Exactly one of the two returned indexes is non-nil.
+//
+// In flat mode the bogon prefixes are appended under the bogonSlot sentinel
+// — appended last, so a prefix that is both announced and bogon dedups to
+// bogon, exactly the precedence Figure 3's bogon-first check gives it. The
+// returned flags slice marks, per entry, whether the entry's ancestor chain
+// carries the sentinel: the hot path's entire bogon test is one indexed
+// load of that bit for the entry FindChain already resolved.
+func buildOriginIndex(rib *bgp.RIB, graph *astopo.Graph, bogons *bogon.Set, trie bool) (*netx.FlatLPM, *netx.LPM, []originRef, []bool) {
 	prefixes, origins := rib.OriginAssignments()
 	slotOf := make(map[bgp.ASN]uint32)
 	vals := make([]uint32, len(prefixes))
@@ -259,7 +293,45 @@ func buildOriginIndex(rib *bgp.RIB, graph *astopo.Graph) (*netx.LPM, []originRef
 		}
 		vals[i] = s
 	}
-	return netx.BuildLPM(prefixes, vals), tab
+	if trie {
+		return nil, netx.BuildLPM(prefixes, vals), tab, nil
+	}
+	// Full-capacity slices force append to copy: OriginAssignments' result
+	// must not be scribbled on.
+	merged := append(prefixes[:len(prefixes):len(prefixes)], bogons.Prefixes()...)
+	for range merged[len(prefixes):] {
+		vals = append(vals, bogonSlot)
+	}
+	flat := netx.BuildFlatLPM(merged, vals)
+	flags := make([]bool, flat.Len())
+	for e := int32(0); e < int32(flat.Len()); e++ {
+		chain, _ := flat.EntryChain(e)
+		for _, v := range chain {
+			if v == bogonSlot {
+				flags[e] = true
+				break
+			}
+		}
+	}
+	return flat, nil, tab, flags
+}
+
+// naiveEntBits expresses AS asIdx's naive valid space as a bitset over the
+// flat origin slab's entry indexes. Every naive prefix is an announced
+// prefix and therefore an origin-table entry, so the per-flow naive test
+// reduces to testing the entries on the chain FindChain already produced.
+// Returns nil if any prefix is (unexpectedly) absent from the slab; the
+// caller then falls back to a per-member index.
+func (p *Pipeline) naiveEntBits(asIdx int) *netx.Bitset {
+	b := netx.NewBitset(p.origins.Len())
+	for _, pr := range p.naive.ValidPrefixes(asIdx) {
+		e := p.origins.EntryOf(pr)
+		if e < 0 {
+			return nil
+		}
+		b.Set(int(e))
+	}
+	return b
 }
 
 // compileMembers builds the per-member validity tables. donor (non-nil only
@@ -294,9 +366,23 @@ func (p *Pipeline) compileMembers(members []MemberInfo, opts Options, donor *Pip
 				}
 			}
 			if from != nil && reuseNaive {
-				ms.naive = from.naive
+				// topologyKey mixes in TrieIndexes and the bogon list, so the
+				// donor's index is the same mode as this build's and — with
+				// the announcement set unchanged too — the reused origin
+				// slab's entry indexing is identical, keeping the donor's
+				// entry bitset valid.
+				ms.naiveEnts, ms.naive, ms.naiveLPM = from.naiveEnts, from.naive, from.naiveLPM
+			} else if opts.TrieIndexes {
+				ms.naiveLPM = p.naive.ValidLPM(ms.asIdx)
 			} else {
-				ms.naive = p.naive.ValidLPM(ms.asIdx)
+				ms.naiveEnts = p.naiveEntBits(ms.asIdx)
+				if ms.naiveEnts == nil {
+					// A naive prefix missing from the origin table cannot
+					// happen (both derive from the same announcements), but
+					// if it ever does, a per-member flat index preserves
+					// correctness at the old per-member probe cost.
+					ms.naive = p.naive.ValidFlatLPM(ms.asIdx)
+				}
 			}
 			if from != nil {
 				ms.validCC, ms.validFC = from.validCC, from.validFC

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spoofscope/internal/obs"
+)
+
+// TestClassifyBatchMatchesClassify: verdicts from the batch API must equal
+// the per-flow path's, flow for flow, for every chunking of the full
+// scenario — including the boundary batch sizes the consumers never produce
+// (1, a ragged tail, larger than ClassifyBatchSize) — and in both index
+// modes (the trie mode exercises the per-flow fallback).
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		trie bool
+	}{{"flat", false}, {"trie", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, p, flows, _ := buildEndToEndOpts(t, func(o *Options) { o.TrieIndexes = mode.trie })
+			if (p.origins == nil) == !mode.trie {
+				t.Fatalf("TrieIndexes=%v compiled origins=%v originsLPM=%v",
+					mode.trie, p.origins != nil, p.originsLPM != nil)
+			}
+			want := make([]Verdict, len(flows))
+			for i, f := range flows {
+				want[i] = p.Classify(f)
+			}
+			got := make([]Verdict, len(flows))
+			for _, chunk := range []int{1, 7, ClassifyBatchSize, len(flows)} {
+				for i := range got {
+					got[i] = Verdict{RouterIP: true} // poison: every slot must be rewritten
+				}
+				for lo := 0; lo < len(flows); lo += chunk {
+					hi := lo + chunk
+					if hi > len(flows) {
+						hi = len(flows)
+					}
+					p.ClassifyBatch(flows[lo:hi], got[lo:hi])
+				}
+				for i := range flows {
+					if got[i] != want[i] {
+						t.Fatalf("chunk=%d flow %d: batch %+v, per-flow %+v", chunk, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyBatchShortBufferPanics: a verdict buffer shorter than the
+// batch is a programming error, reported loudly rather than truncated.
+func TestClassifyBatchShortBufferPanics(t *testing.T) {
+	p := testPipeline(t, Options{})
+	flows := checkpointFlows()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassifyBatch accepted a short verdict buffer")
+		}
+	}()
+	p.ClassifyBatch(flows, make([]Verdict, len(flows)-1))
+}
+
+// TestTrieAndFlatPipelinesAgree is the index-mode ablation oracle: the same
+// RIB compiled with TrieIndexes on and off must classify every scenario flow
+// identically. With that established, the batch/flat rollout inherits the
+// per-flow trie path's correctness arguments wholesale.
+func TestTrieAndFlatPipelinesAgree(t *testing.T) {
+	_, flat, flows, _ := buildEndToEnd(t)
+	_, trie, _, _ := buildEndToEndOpts(t, func(o *Options) { o.TrieIndexes = true })
+	for i, f := range flows {
+		fv, tv := flat.Classify(f), trie.Classify(f)
+		if fv != tv {
+			t.Fatalf("flow %d: flat %+v, trie %+v", i, fv, tv)
+		}
+	}
+}
+
+// TestBatchCheckpointMatchesTriePerFlow closes the equivalence loop at the
+// checkpoint codec: a trie-mode sequential Step drain (the pre-batch,
+// pre-FlatLPM code path, per-flow Classify throughout) and a flat-mode
+// parallel drain (ClassifyBatch throughout) over the same flows must write
+// byte-identical checkpoints.
+func TestBatchCheckpointMatchesTriePerFlow(t *testing.T) {
+	_, flat, flows, _ := buildEndToEnd(t)
+	_, trie, _, _ := buildEndToEndOpts(t, func(o *Options) { o.TrieIndexes = true })
+	dir := t.TempDir()
+	ref := runSequential(t, trie, flows, filepath.Join(dir, "trie-seq.ckpt"))
+	got := runParallel(t, flat, flows, 4, filepath.Join(dir, "flat-par.ckpt"))
+	if !bytes.Equal(ref, got) {
+		t.Fatal("flat batched parallel checkpoint differs from trie per-flow sequential")
+	}
+}
+
+// TestBatchDrainLatencyHistogramNonEmpty: the classify-latency telemetry
+// must survive the batch rollout — after a fully batched parallel drain the
+// histogram holds samples (one flow-weighted sample per batch), in per-flow
+// seconds, flushed from the worker shards at the merge barriers.
+func TestBatchDrainLatencyHistogramNonEmpty(t *testing.T) {
+	tel := obs.NewTelemetry()
+	flows := telemetryFlows(1000)
+	rt, err := NewRuntime(RuntimeConfig{
+		Pipeline: testPipeline(t, Options{}),
+		Start:    cpStart, Bucket: time.Hour,
+		Queue:     unboundedQueue(len(flows)),
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		rt.Ingest(f)
+	}
+	rt.Close()
+	if err := rt.RunParallel(nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := tel.Metrics.FindHistogram(MetricClassifyDuration)
+	if !ok {
+		t.Fatal("classify-duration histogram not registered")
+	}
+	// One sample per drained batch: at least one (1000 flows were drained),
+	// at most one per flow (the degenerate every-batch-holds-one-flow drain).
+	if snap.Count == 0 || snap.Count > uint64(len(flows)) {
+		t.Fatalf("latency samples: got %d, want in (0, %d]", snap.Count, len(flows))
+	}
+	if snap.Sum <= 0 {
+		t.Fatalf("latency sum: got %v, want > 0", snap.Sum)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // plus labeled traffic.
 func buildEndToEnd(t *testing.T) (*scenario.Scenario, *Pipeline, []ipfix.Flow, []flowgen.Label) {
 	t.Helper()
+	return buildEndToEndOpts(t, nil)
+}
+
+// buildEndToEndOpts is buildEndToEnd with a hook to adjust the pipeline
+// Options before compilation (index-mode equivalence tests flip TrieIndexes).
+func buildEndToEndOpts(t *testing.T, mutate func(*Options)) (*scenario.Scenario, *Pipeline, []ipfix.Flow, []flowgen.Label) {
+	t.Helper()
 	s, err := scenario.Build(scenario.SmallConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -32,10 +39,14 @@ func buildEndToEnd(t *testing.T) (*scenario.Scenario, *Pipeline, []ipfix.Flow, [
 		members = append(members, MemberInfo{ASN: m.ASN, Port: m.Port})
 	}
 	routers := traceroute.Simulate(s, 8, 0.05, 3).ExtractRouters()
-	p, err := NewPipeline(rib, members, Options{
+	opts := Options{
 		Orgs:    s.Orgs().MultiASGroups(),
 		Routers: routers,
-	})
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	p, err := NewPipeline(rib, members, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

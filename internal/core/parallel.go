@@ -170,8 +170,20 @@ func (p *Pipeline) ClassifyParallel(flows []ipfix.Flow, workers int, newAgg func
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			agg := newAgg()
-			for _, f := range flows[lo:hi] {
-				agg.Add(f, p.Classify(f))
+			// One stack-resident verdict buffer per worker, reused across
+			// batches: the classification loop itself allocates nothing.
+			var verdicts [ClassifyBatchSize]Verdict
+			for lo < hi {
+				n := hi - lo
+				if n > ClassifyBatchSize {
+					n = ClassifyBatchSize
+				}
+				batch := flows[lo : lo+n]
+				p.ClassifyBatch(batch, verdicts[:n])
+				for i, f := range batch {
+					agg.Add(f, verdicts[i])
+				}
+				lo += n
 			}
 			aggs[w] = agg
 		}(w, lo, hi)

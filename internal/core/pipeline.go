@@ -134,15 +134,31 @@ type Options struct {
 	// GOMAXPROCS; explicit values clamp to GOMAXPROCS. 1 runs the original
 	// sequential build. The compiled pipeline is identical either way.
 	BuildWorkers int
+	// TrieIndexes compiles the prefix indexes (origin table, per-member
+	// naive spaces) as pointer-chasing radix tries instead of the default
+	// cache-dense netx.FlatLPM slabs. Classification results are identical;
+	// this is the ablation partner BenchmarkClassifyHotPath measures the
+	// flat layout against.
+	TrieIndexes bool
 }
 
-// memberState is the compiled per-member validity data.
+// memberState is the compiled per-member validity data. Flat mode (the
+// default) expresses the naive valid space as naiveEnts, a bitset over the
+// origin table's entry indexes: every naive prefix is an announced prefix,
+// so it IS an origin-table entry, and "some naive prefix covers src"
+// becomes "some entry on src's precomputed ancestor chain has its bit
+// set" — a few bit tests on data the classifier already holds, instead of
+// a second LPM probe per member. naive (a per-member FlatLPM) is the
+// defensive fallback should a naive prefix ever be missing from the origin
+// table; naiveLPM is the trie-mode (Options.TrieIndexes) variant.
 type memberState struct {
-	info    MemberInfo
-	asIdx   int       // dense index in the AS graph, -1 if absent
-	naive   *netx.LPM // naive valid space
-	validCC *netx.Bitset
-	validFC *netx.Bitset
+	info      MemberInfo
+	asIdx     int           // dense index in the AS graph, -1 if absent
+	naiveEnts *netx.Bitset  // naive valid space as origin-entry bits, flat mode
+	naive     *netx.FlatLPM // fallback per-member index, flat mode
+	naiveLPM  *netx.LPM     // naive valid space, trie mode
+	validCC   *netx.Bitset
+	validFC   *netx.Bitset
 	// extra whitelists added by false-positive resolution (§4.4).
 	extra *netx.Trie
 }
@@ -164,13 +180,29 @@ const densePortCap = 1 << 16
 // Pipeline is the compiled classifier. Classification is read-only and
 // safe for concurrent use; AllowSource mutates and must not race Classify.
 type Pipeline struct {
-	bogons  *bogon.Set
-	origins *netx.LPM // routed prefix -> index into originTab (MOAS-resolved)
-	graph   *astopo.Graph
+	bogons *bogon.Set
+	// origins maps routed prefixes to indices into originTab
+	// (MOAS-resolved). The flat slab is the default; originsLPM is the trie
+	// variant compiled under Options.TrieIndexes (exactly one is non-nil —
+	// the routed set the Figure 3 "unrouted" test consults is whichever
+	// index the mode compiled). In flat mode the bogon prefixes are merged
+	// into the same slab under the bogonSlot sentinel value, so one
+	// FindChain answers the bogon test, the unrouted test, and the
+	// covering-origin walk together; bogonEntry[e] precomputes "entry e's
+	// chain carries the sentinel", i.e. a bogon prefix covers every address
+	// that resolves to e.
+	origins    *netx.FlatLPM
+	originsLPM *netx.LPM
+	bogonEntry []bool
+	graph      *astopo.Graph
 	full    *astopo.Closure
 	cc      *astopo.Closure
 	naive   *astopo.NaiveIndex
 	routers RouterSet
+	// routersFlat is the router set rebuilt as an open-addressing scalar
+	// hash set when the attached RouterSet can enumerate itself — one or
+	// two cache lines per probe instead of a Go map walk.
+	routersFlat *netx.AddrSet
 
 	originTab []originRef
 
@@ -227,8 +259,17 @@ func (p *Pipeline) NaiveIndex() *astopo.NaiveIndex { return p.naive }
 // RoutedSpace returns the routed address space.
 func (p *Pipeline) RoutedSpace() netx.IntervalSet { return p.routedSpace }
 
-// SetRouters attaches (or replaces) the router address set.
-func (p *Pipeline) SetRouters(rs RouterSet) { p.routers = rs }
+// SetRouters attaches (or replaces) the router address set. Sets that can
+// enumerate their addresses (traceroute.RouterSet can) are additionally
+// compiled into a flat hash set for the classify hot path; opaque sets are
+// consulted through the interface as before.
+func (p *Pipeline) SetRouters(rs RouterSet) {
+	p.routers = rs
+	p.routersFlat = nil
+	if lister, ok := rs.(interface{ Addrs() []netx.Addr }); ok {
+		p.routersFlat = netx.NewAddrSet(lister.Addrs())
+	}
+}
 
 // AllowSource whitelists an address range for one member — the §4.4
 // correction applied after WHOIS evidence confirms a missing relationship.
@@ -246,6 +287,10 @@ func (p *Pipeline) AllowSource(member bgp.ASN, prefix netx.Prefix) error {
 
 // Classify runs the Figure 3 pipeline on one flow.
 func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
+	if p.origins != nil {
+		ms, known := p.member(f.Ingress)
+		return p.classifyFlat(f.SrcAddr, ms, known)
+	}
 	var v Verdict
 	src := f.SrcAddr
 
@@ -256,14 +301,14 @@ func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
 	}
 
 	// Collect covering routed prefixes (shortest to longest); the most
-	// specific origin is the attributed source AS. The LPM values are
+	// specific origin is the attributed source AS. The index values are
 	// compile-time slots into originTab (ASN + dense graph index already
 	// resolved). 17 slots suffice for every possible /8../24 nesting
-	// chain; deeper chains (custom RIB length bounds) keep overwriting the
+	// chain; deeper chains (custom RIB length bounds) collapse into the
 	// last slot so the most specific origin is never lost.
 	var origins [17]uint32
 	nOrigins := 0
-	p.origins.Matches(src, func(bits uint8, slot uint32) bool {
+	p.originsLPM.Matches(src, func(bits uint8, slot uint32) bool {
 		if nOrigins < len(origins) {
 			origins[nOrigins] = slot
 			nOrigins++
@@ -305,7 +350,7 @@ func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
 	// is attributable to the member: covering less-specifics matter when a
 	// customer's PA sub-prefix has a different origin than the provider
 	// block that actually makes the space legitimate.
-	naiveValid := ms.naive.Contains(src)
+	naiveValid := ms.naiveLPM.Contains(src)
 	ccValid, fcValid := false, false
 	for i := 0; i < nOrigins; i++ {
 		oi := int(p.originTab[origins[i]].idx)
@@ -329,4 +374,132 @@ func (p *Pipeline) Classify(f ipfix.Flow) Verdict {
 		v.Class = ClassInvalid
 	}
 	return v
+}
+
+// classifyFlat is the Figure 3 sequence specialized to the flat indexes.
+// One FindChain against the merged origins+bogons slab yields, zero-copy,
+// everything the sequence consults: the bogon test (the hit entry's
+// precomputed bogonEntry flag), the unrouted test (no hit), the covering
+// origin slots (vals — untruncated, so nesting deeper than the per-flow
+// scratch's 17 slots is handled exactly), and the chain entry indexes
+// (ents) the naive bitset test reads. ms/known is the caller's resolved
+// ingress member (ClassifyBatch memoizes it across a batch).
+func (p *Pipeline) classifyFlat(src netx.Addr, ms *memberState, known bool) (v Verdict) {
+	e, vals, ents := p.origins.FindChain(src)
+	if e < 0 {
+		v.Class = ClassUnrouted
+		v.KnownMember = known
+		return v
+	}
+	if p.bogonEntry[e] {
+		v.Class = ClassBogon
+		v.KnownMember = known
+		return v
+	}
+	// The chain of an unflagged entry holds routed prefixes only, so every
+	// val is an originTab slot.
+	n := len(vals)
+	v.SrcOrigin = p.originTab[vals[n-1]].asn
+	if p.routersFlat != nil {
+		v.RouterIP = p.routersFlat.Contains(src)
+	} else if p.routers != nil {
+		v.RouterIP = p.routers.Contains(src)
+	}
+	if !known {
+		v.Class = ClassValid
+		return v
+	}
+	v.KnownMember = true
+	if ms.asIdx < 0 {
+		v.Class = ClassValid
+		return v
+	}
+	if ms.extra != nil {
+		if _, whitelisted := ms.extra.Lookup(src); whitelisted {
+			v.Class = ClassValid
+			return v
+		}
+	}
+	naiveValid := false
+	if ms.naiveEnts != nil {
+		// Naive prefixes are announced prefixes, so they sit in the origin
+		// table: src is naively valid iff some covering entry is marked.
+		for i := 0; i < n; i++ {
+			if ms.naiveEnts.Test(int(ents[i])) {
+				naiveValid = true
+				break
+			}
+		}
+	} else {
+		naiveValid = ms.naive.Contains(src)
+	}
+	ccValid, fcValid := false, false
+	for i := 0; i < n; i++ {
+		oi := int(p.originTab[vals[i]].idx)
+		if oi < 0 {
+			continue
+		}
+		if ms.validCC.Test(oi) {
+			ccValid = true
+		}
+		if ms.validFC.Test(oi) {
+			fcValid = true
+		}
+		if ccValid && fcValid {
+			break
+		}
+	}
+	v.Invalid[ApproachNaive] = !naiveValid
+	v.Invalid[ApproachCC] = !ccValid
+	v.Invalid[ApproachFull] = !fcValid
+	if !naiveValid || !ccValid || !fcValid {
+		v.Class = ClassInvalid
+	}
+	return v
+}
+
+// ClassifyBatchSize is the batch the classification hot path is tuned for:
+// the parallel consumers drain the ingest queue in batches of this many
+// flows (consumeBatchSize) and hand each straight to ClassifyBatch.
+const ClassifyBatchSize = 256
+
+// ClassifyBatch runs the Figure 3 pipeline over a batch of flows, writing
+// verdict i for flow i into out (which must be at least as long as flows).
+// It is the amortized form of Classify — intended for batches of up to
+// ClassifyBatchSize flows — with the per-flow overheads hoisted out of the
+// loop: the ingress-port → member resolution is memoized across
+// consecutive flows (flows arrive clustered by ingress), verdicts are
+// written in place instead of returned, and the flat path reads covering
+// chains zero-copy so no per-flow scratch exists at all. Verdicts are
+// exactly Classify's, flow for flow; the batch
+// equivalence test asserts byte-identical checkpoints between the two
+// paths. Like Classify it is read-only on the pipeline and safe for
+// concurrent use against one snapshot.
+func (p *Pipeline) ClassifyBatch(flows []ipfix.Flow, out []Verdict) {
+	if len(out) < len(flows) {
+		panic("core: ClassifyBatch verdict buffer shorter than batch")
+	}
+	if p.origins == nil {
+		// Trie mode (Options.TrieIndexes): no specialized loop — the batch
+		// API stays available, priced at per-flow cost. This is the
+		// ablation baseline BenchmarkClassifyHotPath reports.
+		for i := range flows {
+			out[i] = p.Classify(flows[i])
+		}
+		return
+	}
+	var (
+		memoValid bool
+		memoPort  uint32
+		memoMS    *memberState
+		memoOK    bool
+	)
+	for i := range flows {
+		f := &flows[i]
+		if !memoValid || f.Ingress != memoPort {
+			memoMS, memoOK = p.member(f.Ingress)
+			memoValid, memoPort = true, f.Ingress
+		}
+		out[i] = p.classifyFlat(f.SrcAddr, memoMS, memoOK)
+	}
 }

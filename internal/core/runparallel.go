@@ -11,10 +11,11 @@ import (
 )
 
 // consumeBatchSize is how many flows a parallel worker drains per queue
-// lock acquisition. Large enough to amortize the lock to noise, small
-// enough that a batch finishes in well under a millisecond — the window in
-// which an in-flight batch can defer a quiescent checkpoint.
-const consumeBatchSize = 256
+// lock acquisition — the batch ClassifyBatch is tuned for. Large enough to
+// amortize the lock to noise, small enough that a batch finishes in well
+// under a millisecond — the window in which an in-flight batch can defer a
+// quiescent checkpoint.
+const consumeBatchSize = ClassifyBatchSize
 
 // RunParallel consumes flows with `workers` concurrent consumers (default
 // and cap: GOMAXPROCS) until the context is cancelled or the runtime is closed and
@@ -88,7 +89,10 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 	// start/bucket are immutable after the aggregator is built, so shard
 	// aggregators can be created without rt.mu.
 	start, bucket := rt.agg.start, rt.agg.bucket
+	// buf and verdicts live for the whole worker and are reused every batch:
+	// the steady-state drain loop allocates nothing per flow.
 	buf := make([]ipfix.Flow, consumeBatchSize)
+	verdicts := make([]Verdict, consumeBatchSize)
 	var (
 		// priv lives for the whole worker: Merge never adopts its containers,
 		// so every barrier Resets it in place instead of allocating a fresh
@@ -99,7 +103,6 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 		// latShard buffers this worker's sampled classify latencies off the
 		// shared histogram; nil (telemetry off) makes Observe/Flush no-ops.
 		latShard *obs.Shard
-		seen     uint64
 	)
 	if rt.classifyHist != nil {
 		latShard = rt.classifyHist.NewShard()
@@ -152,26 +155,21 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 			flush() // epoch barrier: pre-swap verdicts merge before new ones accumulate
 		}
 		batchEpoch = st.epoch
-		var staleN uint64
+		// The whole batch classifies against one snapshot before any verdict
+		// aggregates — degradation state is likewise read once per batch (it
+		// only tags verdicts as stale; the aggregate ignores it).
+		rt.classifyBatchTimed(st.pipeline, buf[:n], verdicts[:n], latShard.Observe)
+		stale := rt.degraded.Load()
 		for i := 0; i < n; i++ {
 			f := buf[i]
-			lv := LiveVerdict{
-				Verdict: rt.classifyTimed(st.pipeline, f, seen, latShard.Observe),
-				Epoch:   st.epoch,
-				Stale:   rt.degraded.Load(),
-			}
-			seen++
-			if lv.Stale {
-				staleN++
-			}
-			priv.Add(f, lv.Verdict)
+			priv.Add(f, verdicts[i])
 			privCount++
 			if observe != nil {
-				observe(f, lv)
+				observe(f, LiveVerdict{Verdict: verdicts[i], Epoch: st.epoch, Stale: stale})
 			}
 		}
-		if staleN > 0 {
-			rt.stale.Add(staleN)
+		if stale {
+			rt.stale.Add(uint64(n))
 		}
 		rt.processed.Add(uint64(n))
 	}

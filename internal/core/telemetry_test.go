@@ -87,14 +87,15 @@ func TestRuntimeTelemetryMatchesAggregator(t *testing.T) {
 		}
 	}
 
-	// The latency sampler times every 64th flow: a 1000-flow run must have
-	// observed some, and far fewer than all.
+	// The latency sampler observes one flow-weighted sample per drained
+	// batch: a 1000-flow run must have observed some, and no more than one
+	// per flow (batches hold at least one flow each).
 	snap, ok := tel.Metrics.FindHistogram(MetricClassifyDuration)
 	if !ok {
 		t.Fatal("classify-duration histogram not registered")
 	}
-	if snap.Count == 0 || snap.Count > uint64(len(flows))/32 {
-		t.Fatalf("latency samples: got %d, want in (0, %d]", snap.Count, len(flows)/32)
+	if snap.Count == 0 || snap.Count > uint64(len(flows)) {
+		t.Fatalf("latency samples: got %d, want in (0, %d]", snap.Count, len(flows))
 	}
 }
 

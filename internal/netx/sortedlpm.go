@@ -74,9 +74,21 @@ func (s *SortedLPM) Lookup(a Addr) (value uint32, ok bool) {
 	for _, bits := range s.lens {
 		net := addr & maskOf(bits)
 		table := s.byLen[bits]
-		i := sort.Search(len(table), func(j int) bool { return table[j] >= net })
-		if i < len(table) && table[i] == net {
-			return s.values[bits][i], true
+		// Manual lower-bound search: sort.Search would pay an indirect
+		// closure call per probe, and this structure is the ablation
+		// partner FlatLPM is benchmarked against — it should price the
+		// per-level binary searches, not call overhead.
+		lo, hi := 0, len(table)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if table[mid] < net {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(table) && table[lo] == net {
+			return s.values[bits][lo], true
 		}
 	}
 	return 0, false
