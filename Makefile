@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos cluster-tcp fuzz bench bench-smoke bench-compare bench-compare-smoke
+.PHONY: build test vet race verify closure-prop obs-smoke cluster-chaos cluster-tcp cluster-obs fuzz bench bench-smoke bench-compare bench-compare-smoke
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,9 @@ race:
 
 # verify is the CI entry point: static checks, the race-checked suite, the
 # parallel-compilation equivalence property, the observability smoke, the
-# cluster chaos suite, and the classify-baseline structural check.
-verify: vet race closure-prop obs-smoke cluster-chaos cluster-tcp bench-compare-smoke
+# cluster chaos suite, the cluster observability-plane gate, and the
+# benchmark-baseline structural check.
+verify: vet race closure-prop obs-smoke cluster-chaos cluster-tcp cluster-obs bench-compare-smoke
 
 # closure-prop runs the parallel-closure property tests explicitly (random
 # cyclic topologies: ConeClosures at 1/2/4/8 workers must match the
@@ -54,11 +55,22 @@ cluster-chaos: cluster-tcp
 cluster-tcp:
 	$(GO) test -race -timeout 120s -run 'TestClusterTCPChaos|TestStandbyTakeover|TestClusterSurvivesCoordinatorKill' -count=1 ./internal/cluster
 
+# cluster-obs is the observability-plane gate: a two-TCP-worker run whose
+# federated per-class counters must converge to the merged checkpoint
+# tallies exactly (with populated epoch-propagation histograms and a fleet
+# status that matches the shard ledger), plus the chaos-scrape run — a
+# worker killed mid-flight while a concurrent scraper asserts the fleet-wide
+# sums never overshoot the final truth and every handoff span that opened
+# was closed. Raced, like every cluster tier.
+cluster-obs:
+	$(GO) test -race -timeout 120s -run 'TestClusterTelemetryFederation|TestChaosScrapeConsistency' -count=1 ./internal/cluster
+
 # bench measures live-runtime consumption throughput (sequential Step loop
 # vs the batch-parallel consumer at 1/2/4/8 workers), pipeline compilation
 # latency (cold at 1/2/4/8 build workers and incremental, at paper and
 # ~50K-AS full-table scale), the cluster flow transport over TCP loopback
-# (frame batch 1/64/512 × deflate off/on), and the single-core classify hot
+# (frame batch 1/64/512 × deflate off/on, plus interleaved plain/telemetry
+# federation-overhead pairs at batch 64/512), and the single-core classify hot
 # path (perflow/batch256 × trie/flat indexes, with allocation counts),
 # recording the machine-readable baseline in BENCH_runtime.json. The
 # document carries the recording host's CPU count, so single-core baselines
@@ -66,7 +78,8 @@ cluster-tcp:
 bench:
 	( $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ; \
-	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench='BenchmarkClusterTransport/^batch-' -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_runtime.json
 	cat BENCH_runtime.json
@@ -78,20 +91,26 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x .
 	SPOOFSCOPE_BENCH_SMOKE=1 $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x .
 
-# bench-compare remeasures the classify hot path and gates it against the
-# committed BENCH_runtime.json: any perflow/batch × trie/flat variant whose
-# flows/sec fell more than 15% below the baseline fails the target. Run it
-# on classifier or index changes; refresh the baseline with `make bench`
-# when a speedup (or an accepted cost) moves the numbers for real.
+# bench-compare remeasures the classify hot path and the federation-overhead
+# transport pairs and gates them against the committed BENCH_runtime.json:
+# any perflow/batch × trie/flat variant whose flows/sec fell more than 15%
+# below the baseline fails, and so does an overhead pair where telemetry
+# federation costs more than 5% throughput against the plain lifecycle
+# interleaved with it in the same run. Run it on classifier, index, or
+# observability-plane changes; refresh the baseline with `make bench` when a
+# speedup (or an accepted cost) moves the numbers for real.
 bench-compare:
-	$(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . \
+	( $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json
 
 # bench-compare-smoke is the verify/CI variant: a single iteration proves
-# the benchmark still runs and every baseline classify variant still exists,
-# without judging single-shot numbers.
+# the benchmarks still run and every baseline classify variant and
+# federation-overhead pair still exists, without judging single-shot
+# numbers.
 bench-compare-smoke:
-	$(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=1x -benchmem . \
+	( $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=1x -benchmem . ; \
+	  SPOOFSCOPE_OVERHEAD_ROUNDS=2 $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json -smoke
 
 # fuzz gives the stream-framing paths a short adversarial workout beyond the

@@ -15,10 +15,12 @@
 // classify hot-path entries parsed from stdin are checked against the
 // committed baseline's classify section and the exit status is non-zero when
 // any variant's flows/sec regressed by more than 15% (`make bench-compare`).
-// -smoke relaxes the comparison to a structural check — every baseline
-// classify variant must still be produced by the fresh run, but single-
-// iteration numbers are reported without being judged — which is what `make
-// verify` and CI run.
+// When the baseline has a clusterObs section, the federation-overhead gate
+// runs too: the fresh run's plain-vs-telemetry transport variants must show
+// less than 5% throughput overhead. -smoke relaxes both comparisons to a
+// structural check — every baseline variant must still be produced by the
+// fresh run, but single-iteration numbers are reported without being judged
+// — which is what `make verify` and CI run.
 package main
 
 import (
@@ -77,6 +79,19 @@ type clusterSummary struct {
 	FlowsPerSec float64 `json:"flowsPerSec"`
 }
 
+// clusterObsSummary surfaces one BenchmarkClusterTransport/overhead-batch-N
+// entry — an interleaved plain/telemetry-federation transport pair measured
+// under the same machine conditions — with the throughput overhead
+// federation costs. `benchjson -diff` gates this within the fresh run: past
+// clusterObsTolerancePct the observability plane is no longer an observer,
+// and the build fails.
+type clusterObsSummary struct {
+	Batch                int     `json:"batch"`
+	PlainFlowsPerSec     float64 `json:"plainFlowsPerSec"`
+	TelemetryFlowsPerSec float64 `json:"telemetryFlowsPerSec"`
+	OverheadPct          float64 `json:"overheadPct"`
+}
+
 // classifySummary surfaces the single-core classify hot-path benchmark
 // (BenchmarkClassifyHotPath/<path>-<index>) as a first-class section: one
 // entry per API path (perflow/batch256) and index layout (trie/flat) with
@@ -94,16 +109,17 @@ type classifySummary struct {
 }
 
 type document struct {
-	GeneratedAt time.Time         `json:"generatedAt"`
-	GoVersion   string            `json:"goVersion"`
-	NumCPU      int               `json:"numCPU"`
-	GoMaxProcs  int               `json:"goMaxProcs"`
-	Env         map[string]string `json:"env,omitempty"`
-	Benchmarks  []benchmark       `json:"benchmarks"`
-	Latency     []latencySummary  `json:"latency,omitempty"`
-	Build       []buildSummary    `json:"build,omitempty"`
-	Cluster     []clusterSummary  `json:"cluster,omitempty"`
-	Classify    []classifySummary `json:"classify,omitempty"`
+	GeneratedAt time.Time           `json:"generatedAt"`
+	GoVersion   string              `json:"goVersion"`
+	NumCPU      int                 `json:"numCPU"`
+	GoMaxProcs  int                 `json:"goMaxProcs"`
+	Env         map[string]string   `json:"env,omitempty"`
+	Benchmarks  []benchmark         `json:"benchmarks"`
+	Latency     []latencySummary    `json:"latency,omitempty"`
+	Build       []buildSummary      `json:"build,omitempty"`
+	Cluster     []clusterSummary    `json:"cluster,omitempty"`
+	ClusterObs  []clusterObsSummary `json:"clusterObs,omitempty"`
+	Classify    []classifySummary   `json:"classify,omitempty"`
 }
 
 func main() {
@@ -152,6 +168,9 @@ func main() {
 		if cs, ok := parseClusterEntry(b); ok {
 			doc.Cluster = append(doc.Cluster, cs)
 		}
+		if co, ok := parseClusterObsEntry(b); ok {
+			doc.ClusterObs = append(doc.ClusterObs, co)
+		}
 		if cl, ok := parseClassifyEntry(b); ok {
 			doc.Classify = append(doc.Classify, cl)
 		}
@@ -173,12 +192,25 @@ func main() {
 // fresh measurement may lose before `benchjson -diff` fails the build.
 const regressionTolerance = 0.15
 
+// clusterObsTolerancePct caps how much transport throughput telemetry
+// federation may cost, in percent, measured plain-vs-telemetry within the
+// fresh run itself (not against the baseline — two fresh variants on the
+// same box cancel out machine noise that an absolute comparison would not).
+const clusterObsTolerancePct = 5.0
+
 // diffClassify compares the classify entries of a fresh run (doc, parsed
 // from stdin) against the committed baseline at path. Every baseline
 // variant must reappear in the fresh run (a vanished benchmark is a broken
 // gate either way); in full mode a variant whose flows/sec fell more than
 // regressionTolerance below baseline fails, in smoke mode the numbers are
 // printed but not judged — single-iteration CI runs measure nothing.
+//
+// When the baseline carries a clusterObs section, the federation-overhead
+// gate runs too: every baseline batch size must reappear as a fresh
+// plain/telemetry pair, and in full mode a fresh overhead — pooled across
+// the batch variants — beyond clusterObsTolerancePct fails. The overhead
+// is judged within the fresh run only; the baseline's own overhead is
+// printed for context.
 func diffClassify(path string, doc document, smoke bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -221,9 +253,50 @@ func diffClassify(path string, doc document, smoke bool) error {
 		fmt.Printf("classify %-14s %12.0f -> %12.0f flows/sec  %+6.1f%%  %s\n",
 			key, b.FlowsPerSec, c.FlowsPerSec, 100*delta, status)
 	}
+	if len(base.ClusterObs) > 0 {
+		freshObs := make(map[int]clusterObsSummary, len(doc.ClusterObs))
+		for _, o := range doc.ClusterObs {
+			freshObs[o.Batch] = o
+		}
+		pooled, pooledN := 0.0, 0
+		for _, b := range base.ClusterObs {
+			o, ok := freshObs[b.Batch]
+			if !ok {
+				failures = append(failures, fmt.Sprintf(
+					"cluster-obs batch-%d: plain/telemetry pair missing from this run", b.Batch))
+				continue
+			}
+			pooled += o.OverheadPct
+			pooledN++
+			status := "ok"
+			if smoke {
+				status = "smoke"
+			}
+			fmt.Printf("cluster-obs batch-%-4d plain %10.0f  telemetry %10.0f flows/sec  overhead %+5.1f%% (baseline %+5.1f%%)  %s\n",
+				o.Batch, o.PlainFlowsPerSec, o.TelemetryFlowsPerSec, o.OverheadPct, b.OverheadPct, status)
+		}
+		// The gate judges the batch variants pooled, not one by one: each
+		// variant measures the same federation cost at a different flow
+		// batch size, so averaging them halves the residual machine noise
+		// while a real regression moves every variant together.
+		if pooledN > 0 {
+			mean := pooled / float64(pooledN)
+			status := "ok"
+			if smoke {
+				status = "smoke"
+			} else if mean > clusterObsTolerancePct {
+				status = "OVERHEAD"
+				failures = append(failures, fmt.Sprintf(
+					"cluster-obs: telemetry federation costs %.1f%% transport throughput pooled over %d batch variants (cap %.0f%%)",
+					mean, pooledN, clusterObsTolerancePct))
+			}
+			fmt.Printf("cluster-obs pooled    federation overhead %+5.1f%% over %d variants (cap %.0f%%)  %s\n",
+				mean, pooledN, clusterObsTolerancePct, status)
+		}
+	}
 	if len(failures) > 0 {
-		return fmt.Errorf("classify throughput gate failed (tolerance %.0f%%):\n  %s",
-			100*regressionTolerance, strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchmark gate failed (classify tolerance %.0f%%, federation overhead cap %.0f%%):\n  %s",
+			100*regressionTolerance, clusterObsTolerancePct, strings.Join(failures, "\n  "))
 	}
 	return nil
 }
@@ -328,6 +401,42 @@ func parseClusterVariant(b benchmark, variant string) (clusterSummary, bool) {
 		Batch:       batch,
 		Compressed:  compressed,
 		FlowsPerSec: b.Metrics["flows/sec"],
+	}, true
+}
+
+// parseClusterObsEntry lifts one BenchmarkClusterTransport/overhead-batch-N
+// entry into a clusterObsSummary. The variant interleaves a plain and a
+// telemetry-federated lifecycle per iteration and reports both throughputs
+// plus the median per-pair overhead as custom metrics, so the overhead is a
+// same-conditions comparison rather than two variants measured minutes
+// apart. The batch number is tried verbatim first and a trailing numeric -P
+// GOMAXPROCS suffix is stripped on failure, mirroring parseClusterEntry.
+func parseClusterObsEntry(b benchmark) (clusterObsSummary, bool) {
+	batchStr, ok := strings.CutPrefix(b.Name, "BenchmarkClusterTransport/overhead-batch-")
+	if !ok {
+		return clusterObsSummary{}, false
+	}
+	batch, err := strconv.Atoi(batchStr)
+	if err != nil {
+		i := strings.LastIndex(batchStr, "-")
+		if i < 0 {
+			return clusterObsSummary{}, false
+		}
+		if batch, err = strconv.Atoi(batchStr[:i]); err != nil {
+			return clusterObsSummary{}, false
+		}
+	}
+	plain := b.Metrics["plain-flows/sec"]
+	tele := b.Metrics["telemetry-flows/sec"]
+	over, ok := b.Metrics["overhead-pct"]
+	if !ok || plain <= 0 || tele <= 0 {
+		return clusterObsSummary{}, false
+	}
+	return clusterObsSummary{
+		Batch:                batch,
+		PlainFlowsPerSec:     plain,
+		TelemetryFlowsPerSec: tele,
+		OverheadPct:          over,
 	}, true
 }
 

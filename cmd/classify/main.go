@@ -38,7 +38,12 @@
 // primary's listen address to free, then takes over and finishes the run.
 //
 // With -metrics-addr the run serves /metrics (Prometheus text), /healthz,
-// /events, and /debug/pprof while it classifies. SIGINT/SIGTERM stop the
+// /events (incremental with ?since= and ?kind=), and /debug/pprof while it
+// classifies. A cluster-mode run additionally serves /cluster — the fleet
+// status JSON (per-shard cursors and replay depth, per-worker liveness and
+// epoch, ledger state) — and folds federated telemetry from external
+// worker daemons into the same /metrics and /events, so one scrape covers
+// the whole fleet. SIGINT/SIGTERM stop the
 // run gracefully: intake closes, the queue drains, a final checkpoint is
 // written (with -checkpoint), and the summary plus the telemetry event
 // journal are printed for the flows classified so far.
@@ -462,7 +467,11 @@ func classifyCluster(ctx context.Context, fr *ipfix.FileReader, rib *bgp.RIB, me
 			DrainWorkers:      rc.drain,
 			HeartbeatInterval: 2 * time.Second,
 			Seed:              int64(i),
-			Telemetry:         tel,
+			// In-process workers share the coordinator's Telemetry, so
+			// their series are already on its /metrics; federating the
+			// shared registry would duplicate every one of them.
+			// External spoofscope-worker daemons federate instead.
+			Telemetry: tel,
 		})
 		if err != nil {
 			log.Fatal(err)

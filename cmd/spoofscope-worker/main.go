@@ -26,6 +26,13 @@
 // The daemon redials through capped, jittered backoff forever by default
 // (-max-attempts bounds it), so a coordinator restart or failover needs no
 // operator action on the worker side.
+//
+// -metrics-addr serves the worker's own observability plane — /metrics,
+// /healthz (ready = owns at least one shard with a promoted pipeline),
+// /events, and /debug/pprof — entirely from local state, so it keeps
+// answering while the coordinator is down. The same telemetry is also
+// federated to the coordinator over the control plane, where it appears
+// worker-labeled in a single fleet-wide scrape.
 package main
 
 import (
@@ -137,6 +144,14 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		MaxAttempts:       *maxTries,
 		Telemetry:         tel,
+		// The daemon federates its telemetry upstream — the coordinator's
+		// /metrics and /events show this worker's series and journal — and
+		// is the Telemetry's readiness source: /healthz (on -metrics-addr)
+		// reports ready once it owns a shard and classifies with a promoted
+		// pipeline, from local state alone, so the endpoint answers even
+		// while the coordinator is unreachable.
+		Federate:      true,
+		PublishHealth: true,
 	})
 	if err != nil {
 		log.Fatal(err)

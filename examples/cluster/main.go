@@ -178,10 +178,52 @@ func run() error {
 			fmt.Printf("  %-18s %s\n", e.Kind, e.Msg)
 			if shown++; shown >= 24 {
 				fmt.Println("  ...")
-				return nil
+				break
 			}
 		}
+		if shown >= 24 {
+			break
+		}
 	}
+
+	// Every crash handoff above left a trace span in the journal — the
+	// same trace ID walks revoke/death → reassign → resumed, and the
+	// stage latencies land in the handoff histogram. Both come from the
+	// coordinator's ordinary telemetry, not from test scaffolding.
+	fmt.Println("\nhandoff trace spans (kind=span-handoff):")
+	spans, _ := tel.Journal.EventsSince(0, obs.EventSpanHandoff)
+	for i, e := range spans {
+		if i >= 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", e.Msg)
+	}
+	for _, stage := range []string{"reassign", "resumed"} {
+		if snap, ok := tel.Metrics.FindHistogram(cluster.MetricHandoff,
+			obs.Label{Name: "stage", Value: stage}); ok && snap.Count > 0 {
+			fmt.Printf("handoff %-8s %d observations, mean %.1fms\n",
+				stage, snap.Count, snap.Sum/float64(snap.Count)*1000)
+		}
+	}
+
+	// The fleet status API is the same struct /cluster serves over HTTP in
+	// a real deployment: per-shard cursors and durability lag, per-worker
+	// liveness and epoch, survivors only after the crash.
+	fs := coord.FleetStatus()
+	fmt.Printf("\nfleet status (role=%s, epoch %d, %d flows routed):\n",
+		fs.Role, fs.EpochSeq, fs.FlowsRouted)
+	for _, w := range fs.Workers {
+		fmt.Printf("  worker %-8s live=%-5v shards=%v\n", w.Identity, w.Live, w.Shards)
+	}
+	lagged := 0
+	for _, s := range fs.Shards {
+		if s.Lag > 0 {
+			lagged++
+		}
+	}
+	fmt.Printf("  %d shards, %d with durability lag, %d replay flows buffered\n",
+		len(fs.Shards), lagged, fs.ReplayFlows)
 	return nil
 }
 

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -161,8 +162,63 @@ func run() error {
 	if err := scrape(msrv.URL()); err != nil {
 		return err
 	}
+	// Incremental journal polling: /events?since=<seq> returns only events
+	// past the cursor plus the next cursor ("head"), so a poller re-reads
+	// nothing. "gap" flags eviction between polls — history the bounded
+	// ring lost, with the drop count on spoofscope_journal_dropped_total.
+	if err := pollEvents(msrv.URL()); err != nil {
+		return err
+	}
 	fmt.Println("\nevent journal:")
 	fmt.Println(tel.Journal.Summary(6))
+	return nil
+}
+
+// eventsPage is the /events envelope: the retained events (filtered by
+// ?since= and ?kind=), the next poll cursor, and the loss markers.
+type eventsPage struct {
+	Dropped uint64 `json:"dropped"`
+	Gap     bool   `json:"gap"`
+	Head    uint64 `json:"head"`
+	Events  []struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+		Msg  string `json:"msg"`
+	} `json:"events"`
+}
+
+// pollEvents walks the incremental /events API the way a long-lived
+// monitor would: a filtered catch-up poll from zero, then a follow-up from
+// the returned head cursor, which has nothing new to say.
+func pollEvents(base string) error {
+	get := func(url string) (eventsPage, error) {
+		var page eventsPage
+		resp, err := http.Get(url)
+		if err != nil {
+			return page, err
+		}
+		defer resp.Body.Close()
+		return page, json.NewDecoder(resp.Body).Decode(&page)
+	}
+	page, err := get(base + "/events?since=0&kind=checkpoint")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n/events?since=0&kind=checkpoint -> %d events, head=%d, gap=%v, dropped=%d\n",
+		len(page.Events), page.Head, page.Gap, page.Dropped)
+	for i, e := range page.Events {
+		if i >= 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  seq=%d %s: %s\n", e.Seq, e.Kind, e.Msg)
+	}
+	next, err := get(fmt.Sprintf("%s/events?since=%d", base, page.Head))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("/events?since=%d -> %d new events (cursor caught up)\n",
+		page.Head, len(next.Events))
 	return nil
 }
 

@@ -375,12 +375,13 @@ func TestShardOfStableAndBounded(t *testing.T) {
 
 func TestWireRoundTrip(t *testing.T) {
 	flows := testFlows(5)
-	em := epochMsg{seq: 9, full: true, members: testMembers, anns: testRIB().Announcements()}
+	em := epochMsg{seq: 9, trace: 0xDEAD, shipNanos: 12345, full: true, members: testMembers, anns: testRIB().Announcements()}
 	got, err := decodeEpoch(encodeEpoch(em))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.seq != 9 || !got.full || len(got.members) != len(testMembers) || len(got.anns) != len(em.anns) {
+	if got.seq != 9 || got.trace != 0xDEAD || got.shipNanos != 12345 ||
+		!got.full || len(got.members) != len(testMembers) || len(got.anns) != len(em.anns) {
 		t.Fatalf("epoch round trip mismatch: %+v", got)
 	}
 	for i, a := range got.anns {
@@ -397,13 +398,29 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("bump round trip mismatch: %+v", bump)
 	}
 
-	am := assignMsg{shard: 3, cursor: 77, startNanos: tcStart.UnixNano(), bucket: int64(time.Hour), checkpoint: []byte("cpbytes")}
+	// Re-stamping a cached epoch frame must change only trace+ship.
+	stamped, err := decodeEpoch(stampEpochFrame(encodeEpoch(em), 0xBEEF, 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped.trace != 0xBEEF || stamped.shipNanos != 777 ||
+		stamped.seq != em.seq || len(stamped.anns) != len(em.anns) {
+		t.Fatalf("stamped epoch mismatch: %+v", stamped)
+	}
+
+	am := assignMsg{shard: 3, trace: 0xF00D, cursor: 77, startNanos: tcStart.UnixNano(), bucket: int64(time.Hour), checkpoint: []byte("cpbytes")}
 	ga, err := decodeAssign(encodeAssign(am))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ga.shard != 3 || ga.cursor != 77 || ga.startNanos != am.startNanos || string(ga.checkpoint) != "cpbytes" {
+	if ga.shard != 3 || ga.trace != 0xF00D || ga.cursor != 77 || ga.startNanos != am.startNanos || string(ga.checkpoint) != "cpbytes" {
 		t.Fatalf("assign round trip mismatch: %+v", ga)
+	}
+
+	sc := shardCtrlMsg{shard: 6, trace: 0xABCD, nanos: 4242}
+	gsc, err := decodeShardCtrl(encodeShardCtrl(msgReportReq, sc))
+	if err != nil || gsc != sc {
+		t.Fatalf("shard-ctrl round trip: %+v, %v", gsc, err)
 	}
 
 	fm := flowsMsg{shard: 2, base: 41, flows: flows}
@@ -421,12 +438,13 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 	}
 
-	rm := reportMsg{shard: 1, final: true, cursor: 123, checkpoint: []byte("x")}
+	rm := reportMsg{shard: 1, final: true, trace: 0x1234, reqNanos: 999, cursor: 123, checkpoint: []byte("x")}
 	gr, err := decodeReport(encodeReport(rm))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gr.shard != 1 || !gr.final || gr.cursor != 123 || string(gr.checkpoint) != "x" {
+	if gr.shard != 1 || !gr.final || gr.trace != 0x1234 || gr.reqNanos != 999 ||
+		gr.cursor != 123 || string(gr.checkpoint) != "x" {
 		t.Fatalf("report round trip mismatch: %+v", gr)
 	}
 
@@ -455,6 +473,50 @@ func TestWireRoundTrip(t *testing.T) {
 			gz.flows[i].Bytes != flows[i].Bytes || gz.flows[i].Ingress != flows[i].Ingress {
 			t.Fatalf("compressed flow %d did not survive the wire", i)
 		}
+	}
+
+	tm := telemetryMsg{
+		journalStart: 17171717,
+		epochSeq:     4,
+		samples: []wireSample{
+			{name: "c", help: "a counter", kind: 0,
+				labels: []obs.Label{{Name: "worker", Value: "w1"}}, value: 42},
+			{name: "g", help: "a gauge", kind: 1, value: -1.5},
+			{name: "h", help: "a histogram", kind: 2,
+				labels: []obs.Label{{Name: "worker", Value: "w1"}, {Name: "stage", Value: "compile"}},
+				hist: obs.HistogramSnapshot{
+					Bounds: []float64{0.1, 1}, Counts: []uint64{3, 2, 1}, Count: 6, Sum: 2.5,
+				}},
+		},
+		events: []obs.Event{
+			{Seq: 5, Wall: tcStart, Kind: "checkpoint", Msg: "wrote"},
+			{Seq: 6, Wall: tcStart.Add(time.Second), Kind: "span-epoch", Msg: "trace x"},
+		},
+	}
+	gt, err := decodeTelemetry(encodeTelemetry(tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.journalStart != tm.journalStart || gt.epochSeq != 4 ||
+		len(gt.samples) != 3 || len(gt.events) != 2 {
+		t.Fatalf("telemetry round trip mismatch: %+v", gt)
+	}
+	if s := gt.samples[0]; s.name != "c" || s.kind != 0 || s.value != 42 ||
+		len(s.labels) != 1 || s.labels[0] != (obs.Label{Name: "worker", Value: "w1"}) {
+		t.Fatalf("telemetry counter sample mismatch: %+v", s)
+	}
+	if s := gt.samples[2]; s.kind != 2 || s.hist.Count != 6 || s.hist.Sum != 2.5 ||
+		len(s.hist.Bounds) != 2 || len(s.hist.Counts) != 3 || s.hist.Counts[0] != 3 {
+		t.Fatalf("telemetry histogram sample mismatch: %+v", s)
+	}
+	if e := gt.events[0]; e.Seq != 5 || e.Kind != "checkpoint" || e.Msg != "wrote" ||
+		!e.Wall.Equal(tcStart) {
+		t.Fatalf("telemetry event mismatch: %+v", e)
+	}
+
+	ack, err := decodeTelemetryAck(encodeTelemetryAck(91))
+	if err != nil || ack != 91 {
+		t.Fatalf("telemetry ack round trip: %d, %v", ack, err)
 	}
 }
 

@@ -157,6 +157,10 @@ type link struct {
 	beatWritten uint64
 	beatMisses  int
 
+	// lastRead is the unix-nano timestamp of the last frame read from this
+	// link — the per-worker "last heartbeat" the fleet status API reports.
+	lastRead atomic.Int64
+
 	released  bool // conn-count slot returned (under Coordinator.mu)
 	closeOnce sync.Once
 	dead      chan struct{}
@@ -195,6 +199,10 @@ type shardState struct {
 	ackBase       uint64
 	lastReport    []byte
 	replay        []ipfix.Flow
+	// span tracks an in-flight ownership transfer (revoke/death →
+	// reassign → first report from the new owner) for the handoff
+	// histograms and journal; nil when ownership is settled.
+	span *handoffSpan
 }
 
 // Coordinator owns the flow source, routes flows to shard owners, and
@@ -217,6 +225,16 @@ type Coordinator struct {
 	// conns counts every live connection, authenticated or not, against
 	// the MaxConns cap.
 	conns int
+
+	// Observability plane (observe.go): per-worker federated telemetry
+	// keyed by identity, trace-ID minting state, and the coordinator-side
+	// span histograms (nil without Telemetry).
+	fed             map[string]*fedWorker
+	traceBase       uint64
+	traceSeq        uint64
+	handoffReassign *obs.Histogram
+	handoffResumed  *obs.Histogram
+	rttHist         *obs.Histogram
 
 	// ledger machinery: snapshots encoded under mu are handed to a
 	// dedicated writer goroutine (latest wins — an overwritten pending
@@ -271,7 +289,12 @@ func newCoordinator(cfg Config, lg *ledger) (*Coordinator, error) {
 	if cfg.Bucket <= 0 {
 		cfg.Bucket = time.Hour
 	}
-	c := &Coordinator{cfg: cfg, links: make(map[*link]struct{})}
+	c := &Coordinator{
+		cfg:       cfg,
+		links:     make(map[*link]struct{}),
+		fed:       make(map[string]*fedWorker),
+		traceBase: newTraceBase(),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	c.shards = make([]*shardState, cfg.Shards)
 	for i := range c.shards {
@@ -505,6 +528,16 @@ func (c *Coordinator) instrument(tel *obs.Telemetry) {
 			}
 			return float64(n)
 		})
+	c.handoffReassign = m.Histogram(MetricHandoff,
+		"Shard handoff stage latency: revoke/death to the named stage.",
+		obs.WireBuckets, obs.Label{Name: "stage", Value: "reassign"})
+	c.handoffResumed = m.Histogram(MetricHandoff,
+		"Shard handoff stage latency: revoke/death to the named stage.",
+		obs.WireBuckets, obs.Label{Name: "stage", Value: "resumed"})
+	c.rttHist = m.Histogram(MetricReportRTT,
+		"Report-request round-trip, coordinator clock both ends.",
+		obs.WireBuckets)
+	tel.PublishJSON("/cluster", func() any { return c.FleetStatus() })
 	tel.SetHealth(func() obs.Health {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -731,6 +764,7 @@ func (c *Coordinator) readLoop(l *link) {
 	}
 	l.id = hello.identity
 	l.name = hello.name
+	l.lastRead.Store(time.Now().UnixNano())
 	if !c.join(l) {
 		return
 	}
@@ -753,6 +787,7 @@ func (c *Coordinator) readLoop(l *link) {
 		if len(body) == 0 {
 			continue
 		}
+		l.lastRead.Store(time.Now().UnixNano())
 		switch body[0] {
 		case msgHeartbeat:
 			// The read deadline reset is the whole point.
@@ -763,6 +798,16 @@ func (c *Coordinator) readLoop(l *link) {
 				return
 			}
 			c.handleReport(l, m)
+		case msgTelemetry:
+			m, err := decodeTelemetry(body)
+			if err != nil {
+				// Telemetry is advisory: a malformed frame is journaled and
+				// dropped, never fatal to a link that is moving flows.
+				c.cfg.Telemetry.Recordf(obs.EventTelemetryError,
+					"bad telemetry frame from %s: %v", l.label(), err)
+				continue
+			}
+			c.handleTelemetry(l, m)
 		default:
 			c.killLink(l, fmt.Sprintf("unexpected message type %d", body[0]))
 			return
@@ -791,7 +836,13 @@ func (c *Coordinator) join(l *link) bool {
 	c.links[l] = struct{}{}
 	c.cfg.Telemetry.Recordf(obs.EventWorkerJoin, "%s joined (%d links)", l.label(), len(c.links))
 	if c.epochFull != nil {
-		c.sendCtrlLocked(l, c.epochFull)
+		// Re-stamp the cached frame with a fresh trace and ship time: the
+		// joiner's propagation span measures its own delivery, not the age
+		// of the original distribution.
+		trace := c.nextTraceLocked()
+		c.sendCtrlLocked(l, stampEpochFrame(c.epochFull, trace, time.Now().UnixNano()))
+		c.cfg.Telemetry.Recordf(obs.EventSpanEpoch,
+			"trace %016x epoch stage=ship (replay to joiner %s)", trace, l.label())
 	}
 	c.rebalanceLocked()
 	c.cond.Broadcast()
@@ -812,6 +863,8 @@ func (c *Coordinator) killLink(l *link, reason string) {
 	delete(c.links, l)
 	if joined {
 		c.cfg.Telemetry.Recordf(obs.EventWorkerDead, "%s: %s", l.label(), reason)
+		c.pruneFederatedLocked(l)
+		now := time.Now()
 		for _, s := range c.shards {
 			if s.owner == l {
 				s.owner = nil
@@ -819,6 +872,7 @@ func (c *Coordinator) killLink(l *link, reason string) {
 				s.revokePending = false
 				s.sentCursor = s.ackBase
 				c.handoffs++
+				c.startSpanLocked(s, "failover", now)
 				c.cfg.Telemetry.Recordf(obs.EventShardHandoff,
 					"shard %d orphaned by %s at cursor %d (acked %d, %d flows to replay)",
 					s.id, l.label(), s.cursor, s.ackBase, s.cursor-s.ackBase)
@@ -916,9 +970,10 @@ func (c *Coordinator) rebalanceLocked() {
 				s.revoking = true
 				c.flushRevokedLocked(s)
 				c.rebalances++
+				c.startSpanLocked(s, "rebalance", time.Now())
 				c.cfg.Telemetry.Recordf(obs.EventShardRevoke,
 					"shard %d revoked from %s for rebalance", s.id, max.label())
-				if !c.trySendLocked(max, encodeShardOnly(msgRevoke, s.id)) {
+				if !c.trySendLocked(max, encodeShardCtrl(msgRevoke, shardCtrlMsg{shard: s.id, trace: s.span.trace})) {
 					// Queue full of flow batches the revoke must trail;
 					// the ticker retries once the writer drains room.
 					s.revokePending = true
@@ -949,6 +1004,7 @@ func (c *Coordinator) assignLocked(s *shardState, l *link) {
 	s.sentCursor = s.ackBase
 	m := assignMsg{
 		shard:      s.id,
+		trace:      c.spanReassignedLocked(s, l, time.Now()),
 		cursor:     s.ackBase,
 		startNanos: c.cfg.Start.UnixNano(),
 		bucket:     int64(c.cfg.Bucket),
@@ -1002,8 +1058,14 @@ func (c *Coordinator) flushShardLocked(s *shardState) {
 	}
 	// A revoke that found the queue full waits here, still ordered behind
 	// the flow batches that preceded it.
-	if s.revokePending && c.trySendLocked(s.owner, encodeShardOnly(msgRevoke, s.id)) {
-		s.revokePending = false
+	if s.revokePending {
+		var trace uint64
+		if s.span != nil {
+			trace = s.span.trace
+		}
+		if c.trySendLocked(s.owner, encodeShardCtrl(msgRevoke, shardCtrlMsg{shard: s.id, trace: trace})) {
+			s.revokePending = false
+		}
 	}
 }
 
@@ -1078,12 +1140,15 @@ func (c *Coordinator) DistributeEpoch(rib *bgp.RIB) (uint64, error) {
 	c.epochsSent++
 	full := !c.haveFP || fp.Anns != c.lastFP.Anns
 	c.lastFP, c.haveFP = fp, true
+	trace := c.nextTraceLocked()
+	ship := time.Now()
 	var frame []byte
 	if full {
-		frame = encodeEpoch(epochMsg{seq: c.epochSeq, full: true, members: c.cfg.Members, anns: anns})
+		frame = encodeEpoch(epochMsg{seq: c.epochSeq, trace: trace, shipNanos: ship.UnixNano(),
+			full: true, members: c.cfg.Members, anns: anns})
 		c.epochFull = frame
 	} else {
-		frame = encodeEpoch(epochMsg{seq: c.epochSeq})
+		frame = encodeEpoch(epochMsg{seq: c.epochSeq, trace: trace, shipNanos: ship.UnixNano()})
 		// Late joiners still need the state itself: keep the latest full
 		// frame, only its sequence number is stale — workers treat any
 		// full frame as authoritative.
@@ -1093,6 +1158,8 @@ func (c *Coordinator) DistributeEpoch(rib *bgp.RIB) (uint64, error) {
 			go c.killLink(l, "control queue full at epoch")
 		}
 	}
+	c.cfg.Telemetry.Recordf(obs.EventSpanEpoch,
+		"trace %016x epoch %d stage=ship full=%v to %d workers", trace, c.epochSeq, full, len(c.links))
 	c.cfg.Telemetry.Recordf(obs.EventClusterEpoch,
 		"epoch %d distributed (full=%v, %d announcements)", c.epochSeq, full, len(anns))
 	// The epoch is part of the durable state: a resumed coordinator must
@@ -1102,6 +1169,7 @@ func (c *Coordinator) DistributeEpoch(rib *bgp.RIB) (uint64, error) {
 }
 
 func (c *Coordinator) handleReport(l *link, m reportMsg) {
+	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if int(m.shard) >= len(c.shards) {
@@ -1123,6 +1191,14 @@ func (c *Coordinator) handleReport(l *link, m reportMsg) {
 			m.shard, m.cursor, s.ackBase, s.sentCursor))
 		return
 	}
+	// A solicited report echoes the request's send timestamp — the
+	// round-trip is measured on the coordinator clock alone.
+	if m.reqNanos > 0 && c.rttHist != nil {
+		if rtt := now.Sub(time.Unix(0, m.reqNanos)); rtt > 0 {
+			c.rttHist.Observe(rtt.Seconds())
+		}
+	}
+	c.spanResumedLocked(s, l, now)
 	s.replay = s.replay[m.cursor-s.ackBase:]
 	s.ackBase = m.cursor
 	s.lastReport = m.checkpoint
@@ -1142,8 +1218,10 @@ func (c *Coordinator) handleReport(l *link, m reportMsg) {
 }
 
 // requestReportsLocked asks every owned, in-sync shard's owner for a fresh
-// quiescent report.
+// quiescent report. Each request carries a trace ID and the send timestamp;
+// the report echoes both, closing the round-trip histogram.
 func (c *Coordinator) requestReportsLocked() {
+	now := time.Now().UnixNano()
 	for _, s := range c.shards {
 		if s.owner == nil || s.revoking {
 			continue
@@ -1151,7 +1229,8 @@ func (c *Coordinator) requestReportsLocked() {
 		c.flushToOwnerLocked(s)
 		// Report requests recur (every few beats and from Checkpoint), so a
 		// full control queue just skips this round.
-		c.sendCtrlLocked(s.owner, encodeShardOnly(msgReportReq, s.id))
+		c.sendCtrlLocked(s.owner, encodeShardCtrl(msgReportReq,
+			shardCtrlMsg{shard: s.id, trace: c.nextTraceLocked(), nanos: now}))
 	}
 }
 

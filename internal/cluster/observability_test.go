@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spoofscope/internal/core"
+	"spoofscope/internal/faultnet"
+	"spoofscope/internal/obs"
+)
+
+// The observability-plane suite: telemetry federation over the real TCP
+// transport (every worker daemon owns its own Telemetry, the coordinator's
+// scrape covers the fleet), wire-level trace spans, and the fleet status
+// API — all asserted against the merged checkpoint, the ground truth the
+// rest of the cluster suite already proves byte-exact.
+
+// startFederatedWorker runs a worker daemon shape: its own Telemetry,
+// federation on, publishing health.
+func startFederatedWorker(t *testing.T, name, addr string, secret []byte) *obs.Telemetry {
+	t.Helper()
+	tel := obs.NewTelemetry()
+	w, err := NewWorker(WorkerConfig{
+		Name:              name,
+		Secret:            secret,
+		Dial:              func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		HeartbeatInterval: 20 * time.Millisecond,
+		TelemetryInterval: 15 * time.Millisecond,
+		InitialBackoff:    5 * time.Millisecond,
+		MaxBackoff:        50 * time.Millisecond,
+		Seed:              int64(len(name)),
+		Telemetry:         tel,
+		Federate:          true,
+		PublishHealth:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("federated worker did not stop")
+		}
+	})
+	return tel
+}
+
+// federatedClassSum reads the coordinator registry's federated per-class
+// counters and returns the per-class sum across workers plus the set of
+// worker labels seen.
+func federatedClassSum(reg *obs.Registry) (map[string]uint64, map[string]bool) {
+	sums := make(map[string]uint64)
+	workers := make(map[string]bool)
+	for _, f := range reg.Export() {
+		if f.Name != MetricWorkerClassFlows {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Value == nil {
+				continue
+			}
+			sums[s.Labels["class"]] += uint64(*s.Value)
+			if s.Labels["worker"] != "" && *s.Value > 0 {
+				workers[s.Labels["worker"]] = true
+			}
+		}
+	}
+	return sums, workers
+}
+
+// TestClusterTelemetryFederation is the acceptance run: two TCP worker
+// daemons with private telemetries federate into the coordinator, and one
+// scrape of the coordinator yields (a) per-worker per-class counters that
+// sum exactly to the merged checkpoint's tallies, (b) a populated
+// epoch-propagation histogram, (c) forwarded worker journal events, and
+// (d) a /cluster fleet status whose cursors match the persisted ledger.
+func TestClusterTelemetryFederation(t *testing.T) {
+	flows := testFlows(2000)
+	secret := []byte("federation-secret")
+	ledgerPath := filepath.Join(t.TempDir(), "shards.ledger")
+
+	ctel := obs.NewTelemetry()
+	coord, err := NewCoordinator(Config{
+		Shards:            4,
+		Members:           testMembers,
+		Start:             tcStart,
+		Bucket:            time.Hour,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Secret:            secret,
+		LedgerPath:        ledgerPath,
+		Telemetry:         ctel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go coord.Serve(ln)
+
+	wtel0 := startFederatedWorker(t, "w0", ln.Addr().String(), secret)
+	wtel1 := startFederatedWorker(t, "w1", ln.Addr().String(), secret)
+	deadline := time.Now().Add(5 * time.Second)
+	for joinCount(ctel) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("federated workers never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := coord.DistributeEpoch(testRIB()); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		coord.Ingest(f)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cp, err := coord.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Federated per-class counters converge to the merged checkpoint's
+	// tallies — exactly, not approximately, once the next telemetry frames
+	// land. Flows stopped at the checkpoint, so convergence is stable.
+	want := make(map[string]uint64)
+	for c := 0; c < core.NumTrafficClasses; c++ {
+		want[core.TrafficClass(c).String()] = cp.Agg.Total[c].Flows
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		sums, workers := federatedClassSum(ctel.Metrics)
+		match := len(workers) == 2
+		for class, w := range want {
+			if sums[class] != w {
+				match = false
+			}
+		}
+		if match {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated class sums never converged:\n got %v from workers %v\nwant %v",
+				sums, workers, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// (b) Both workers' epoch-propagation compile stages are populated and
+	// visible from the coordinator's registry.
+	for _, worker := range []string{"w0", "w1"} {
+		snap, ok := ctel.Metrics.FindHistogram(MetricEpochPropagation,
+			obs.Label{Name: "worker", Value: worker},
+			obs.Label{Name: "stage", Value: "compile"})
+		if !ok || snap.Count == 0 {
+			t.Fatalf("epoch propagation histogram for %s not federated (ok=%v count=%d)",
+				worker, ok, snap.Count)
+		}
+	}
+
+	// (c) Worker journal events were interleaved into the coordinator's
+	// journal with origin attribution.
+	origins := make(map[string]bool)
+	for _, e := range ctel.Journal.Events() {
+		if e.Origin != "" {
+			origins[e.Origin] = true
+			if e.OriginSeq == 0 {
+				t.Fatalf("forwarded event lost its origin seq: %+v", e)
+			}
+		}
+	}
+	if !origins["w0"] || !origins["w1"] {
+		t.Fatalf("journal federation incomplete: origins %v", origins)
+	}
+
+	// (d) The fleet status reflects both live workers and, after the
+	// checkpoint's final ledger write settles, matches the persisted
+	// ledger cursor-for-cursor.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		fs := coord.FleetStatus()
+		if fs.Role != "coordinator" {
+			t.Fatalf("fleet role = %q", fs.Role)
+		}
+		live := 0
+		for _, w := range fs.Workers {
+			if w.Live {
+				live++
+			}
+		}
+		lg, lerr := loadLedgerFile(ledgerPath)
+		match := live == 2 && lerr == nil && len(lg.shards) == len(fs.Shards)
+		if match {
+			for i, row := range fs.Shards {
+				ls := lg.shards[row.ID]
+				if row.Cursor != ls.cursor || row.AckBase != ls.ackBase {
+					match = false
+					_ = i
+				}
+			}
+		}
+		if match {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet status never matched persisted ledger: %+v (ledger err %v)", fs, lerr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Worker-side health answered locally: both daemons are ready.
+	for i, wtel := range []*obs.Telemetry{wtel0, wtel1} {
+		if h := wtel.Health(); !h.Ready {
+			t.Fatalf("worker %d unready at steady state: %+v", i, h)
+		}
+	}
+
+	// The checkpoint still matches the fault-free oracle — federation is
+	// an observer, not a participant.
+	var buf bytes.Buffer
+	if err := core.EncodeCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), singleProcessCheckpoint(t, flows)) {
+		t.Fatal("checkpoint diverged with federation enabled")
+	}
+}
+
+var spanRE = regexp.MustCompile(`^trace ([0-9a-f]{16}) shard (\d+) stage=(\w+)`)
+
+// handoffSpanStages parses the journal's span-handoff events into
+// per-trace stage sets.
+func handoffSpanStages(tel *obs.Telemetry) map[string]map[string]bool {
+	spans := make(map[string]map[string]bool)
+	events, _ := tel.Journal.EventsSince(0, obs.EventSpanHandoff)
+	for _, e := range events {
+		m := spanRE.FindStringSubmatch(e.Msg)
+		if m == nil {
+			continue
+		}
+		key := m[1] + "/" + m[2]
+		if spans[key] == nil {
+			spans[key] = make(map[string]bool)
+		}
+		spans[key][m[3]] = true
+	}
+	return spans
+}
+
+// TestChaosScrapeConsistency runs the kill+partition chaos schedule with a
+// scraper hammering the coordinator's federated registry concurrently. Two
+// invariants: the fleet-wide per-class sums observed at ANY instant never
+// exceed the final merged totals (the replay path must not double-count
+// through a scrape), and every handoff span that started reached a
+// terminal stage (resumed, or abandoned by a superseding handoff).
+func TestChaosScrapeConsistency(t *testing.T) {
+	flows := testFlows(2000)
+	secret := []byte("chaos-scrape-secret")
+
+	ctel := obs.NewTelemetry()
+	// Chaos runs journal heavily; a roomy ring keeps every span event for
+	// the completeness check.
+	ctel.Journal = obs.NewJournal(16384)
+	coord, err := NewCoordinator(Config{
+		Shards:            6,
+		Members:           testMembers,
+		Start:             tcStart,
+		Bucket:            time.Hour,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Secret:            secret,
+		Telemetry:         ctel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inner.Close() })
+	// Partition: the second accepted link goes silent mid-run without
+	// closing — the worker behind it redials and rejoins.
+	ln := faultnet.WrapListener(inner, func(i int) faultnet.Config {
+		if i == 1 {
+			return faultnet.Config{Seed: 11, StallAfterReads: 12}
+		}
+		return faultnet.Config{}
+	})
+	go coord.Serve(ln)
+	addr := inner.Addr().String()
+
+	startFederatedWorker(t, "wa", addr, secret)
+	startFederatedWorker(t, "wb", addr, secret)
+
+	// The kill victim is run here, not via the helper, so the test can
+	// cancel it mid-feed.
+	wtel := obs.NewTelemetry()
+	victim, err := NewWorker(WorkerConfig{
+		Name:              "wc",
+		Secret:            secret,
+		Dial:              func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		HeartbeatInterval: 20 * time.Millisecond,
+		TelemetryInterval: 15 * time.Millisecond,
+		InitialBackoff:    5 * time.Millisecond,
+		Seed:              3,
+		Telemetry:         wtel,
+		Federate:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	vdone := make(chan struct{})
+	go func() { defer close(vdone); victim.Run(vctx) }()
+	defer vcancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for joinCount(ctel) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("chaos workers never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := coord.DistributeEpoch(testRIB()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent scraper: record the maximum fleet-wide per-class sum ever
+	// observed while the chaos unfolds.
+	var scrapeMu sync.Mutex
+	maxSeen := make(map[string]uint64)
+	scrapes := 0
+	sctx, scancel := context.WithCancel(context.Background())
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for sctx.Err() == nil {
+			sums, _ := federatedClassSum(ctel.Metrics)
+			scrapeMu.Lock()
+			for class, v := range sums {
+				if v > maxSeen[class] {
+					maxSeen[class] = v
+				}
+			}
+			scrapes++
+			scrapeMu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for i, f := range flows {
+		coord.Ingest(f)
+		switch i {
+		case 700:
+			// Kill: the victim dies without a final report.
+			vcancel()
+			<-vdone
+		case 1400:
+			// Let the partition stall fire mid-feed on a paced boundary.
+			time.Sleep(50 * time.Millisecond)
+		}
+		if i%250 == 249 {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cp, err := coord.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a final round of telemetry frames land, then stop the scraper.
+	time.Sleep(100 * time.Millisecond)
+	scancel()
+	<-scrapeDone
+
+	var buf bytes.Buffer
+	if err := core.EncodeCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), singleProcessCheckpoint(t, flows)) {
+		t.Fatal("checkpoint diverged under chaos with a concurrent scraper")
+	}
+	st := coord.Stats()
+	if st.Handoffs == 0 {
+		t.Fatalf("chaos produced no handoffs: %+v", st)
+	}
+
+	// Invariant 1: no scrape ever over-counted. Replayed flows appear in
+	// the new owner's counters only after the dead owner's series were
+	// pruned, so the fleet-wide sum must stay within the merged truth.
+	scrapeMu.Lock()
+	defer scrapeMu.Unlock()
+	if scrapes == 0 {
+		t.Fatal("scraper never ran")
+	}
+	for c := 0; c < core.NumTrafficClasses; c++ {
+		class := core.TrafficClass(c).String()
+		if total := cp.Agg.Total[c].Flows; maxSeen[class] > total {
+			t.Fatalf("scrape over-counted class %s: saw %d, merged total %d (%d scrapes)",
+				class, maxSeen[class], total, scrapes)
+		}
+	}
+
+	// Invariant 2: every handoff span that started reached a terminal
+	// stage, and the trace walked the full grammar to get there.
+	spans := handoffSpanStages(ctel)
+	if len(spans) == 0 {
+		t.Fatal("no handoff spans journaled under chaos")
+	}
+	resumed := 0
+	for key, stages := range spans {
+		if !stages["start"] {
+			t.Fatalf("span %s has no start stage: %v", key, stages)
+		}
+		switch {
+		case stages["resumed"]:
+			if !stages["reassign"] {
+				t.Fatalf("span %s resumed without a reassign stage: %v", key, stages)
+			}
+			resumed++
+		case stages["abandoned"]:
+		default:
+			t.Fatalf("span %s never terminated: %v (all: %s)", key, stages, spanSummary(spans))
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("no handoff span completed start→reassign→resumed")
+	}
+	// The measured side of the same spans: reassign and resumed stage
+	// histograms hold at least the resumed spans' observations.
+	for _, stage := range []string{"reassign", "resumed"} {
+		snap, ok := ctel.Metrics.FindHistogram(MetricHandoff, obs.Label{Name: "stage", Value: stage})
+		if !ok || snap.Count == 0 {
+			t.Fatalf("handoff %s histogram empty after chaos (ok=%v)", stage, ok)
+		}
+	}
+}
+
+func spanSummary(spans map[string]map[string]bool) string {
+	var out []string
+	for key, stages := range spans {
+		var ss []string
+		for s := range stages {
+			ss = append(ss, s)
+		}
+		out = append(out, fmt.Sprintf("%s:%s", key, strings.Join(ss, "+")))
+	}
+	return strings.Join(out, " ")
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"spoofscope/internal/obs"
@@ -56,10 +57,23 @@ func RunStandby(ctx context.Context, cfg StandbyConfig) (*Coordinator, net.Liste
 	defer t.Stop()
 	// warm is the freshest ledger snapshot successfully read; promotion
 	// falls back to it if the final read races a primary write and fails.
-	var warm *ledger
+	// The standby serves its warm view on /cluster (Role "standby", every
+	// shard orphaned) so operators can inspect takeover readiness; on
+	// promotion the coordinator re-publishes the path with its live view.
+	var (
+		warmMu sync.Mutex
+		warm   *ledger
+	)
+	tel.PublishJSON("/cluster", func() any {
+		warmMu.Lock()
+		defer warmMu.Unlock()
+		return fleetStatusFromLedger(cfg.Coordinator.LedgerPath, warm)
+	})
 	for {
 		if lg, err := loadLedgerFile(cfg.Coordinator.LedgerPath); err == nil {
+			warmMu.Lock()
 			warm = lg
+			warmMu.Unlock()
 		}
 		ln, err := cfg.Listen()
 		if err == nil {
@@ -67,7 +81,9 @@ func RunStandby(ctx context.Context, cfg StandbyConfig) (*Coordinator, net.Liste
 			// now — the primary cannot write again — over the warm copy.
 			lg, lerr := loadLedgerFile(cfg.Coordinator.LedgerPath)
 			if lerr != nil {
+				warmMu.Lock()
 				lg = warm
+				warmMu.Unlock()
 			}
 			coord, cerr := newCoordinator(cfg.Coordinator, lg)
 			if cerr != nil {

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -35,20 +36,23 @@ import (
 	"spoofscope/internal/core"
 	"spoofscope/internal/ipfix"
 	"spoofscope/internal/netx"
+	"spoofscope/internal/obs"
 )
 
 // Message types. The one-byte tag leads every frame body.
 const (
-	msgHello     = 1  // worker → coordinator: authenticated identity
-	msgEpoch     = 2  // coordinator → worker: routing state (full or bump)
-	msgAssign    = 3  // coordinator → worker: shard ownership + resume state
-	msgRevoke    = 4  // coordinator → worker: drain shard, send final report
-	msgFlows     = 5  // coordinator → worker: a batch of shard flows
-	msgReportReq = 6  // coordinator → worker: request a quiescent report
-	msgReport    = 7  // worker → coordinator: shard checkpoint
-	msgHeartbeat = 8  // both directions: liveness
-	msgChallenge = 9  // coordinator → worker: auth nonce, first frame on a conn
-	msgFlowsZ    = 10 // coordinator → worker: a flate-compressed flow batch
+	msgHello        = 1  // worker → coordinator: authenticated identity
+	msgEpoch        = 2  // coordinator → worker: routing state (full or bump)
+	msgAssign       = 3  // coordinator → worker: shard ownership + resume state
+	msgRevoke       = 4  // coordinator → worker: drain shard, send final report
+	msgFlows        = 5  // coordinator → worker: a batch of shard flows
+	msgReportReq    = 6  // coordinator → worker: request a quiescent report
+	msgReport       = 7  // worker → coordinator: shard checkpoint
+	msgHeartbeat    = 8  // both directions: liveness
+	msgChallenge    = 9  // coordinator → worker: auth nonce, first frame on a conn
+	msgFlowsZ       = 10 // coordinator → worker: a flate-compressed flow batch
+	msgTelemetry    = 11 // worker → coordinator: metric samples + journal events
+	msgTelemetryAck = 12 // coordinator → worker: highest journal seq folded in
 )
 
 // maxFrame bounds a frame body so a corrupted length prefix cannot force
@@ -282,17 +286,38 @@ func decodeHello(body []byte) (helloMsg, error) {
 // set and member table; a bump (full=false) just advances the epoch
 // sequence — the coordinator sends it when the RIB fingerprint is
 // unchanged, so workers know the table was refreshed without re-shipping
-// or re-compiling anything.
+// or re-compiling anything. Trace identifies the distribution span and
+// shipNanos is the coordinator's send timestamp — the worker subtracts it
+// from its own clock at compile and first-verdict time to populate the
+// epoch-propagation histogram (same-host clocks assumed; document skew).
 type epochMsg struct {
-	seq     uint64
-	full    bool
-	members []core.MemberInfo
-	anns    []bgp.Announcement
+	seq       uint64
+	trace     uint64
+	shipNanos int64
+	full      bool
+	members   []core.MemberInfo
+	anns      []bgp.Announcement
+}
+
+// epochStampOffset is the byte offset of the trace+shipNanos pair in an
+// encoded epoch frame: [type][seq u64][trace u64][ship i64].... The
+// coordinator caches the encoded full-epoch frame for late joiners and
+// re-stamps these 16 bytes per send, so a joiner's propagation span
+// measures its own delivery, not the original distribution's.
+const epochStampOffset = 1 + 8
+
+func stampEpochFrame(frame []byte, trace uint64, shipNanos int64) []byte {
+	out := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint64(out[epochStampOffset:], trace)
+	binary.BigEndian.PutUint64(out[epochStampOffset+8:], uint64(shipNanos))
+	return out
 }
 
 func encodeEpoch(m epochMsg) []byte {
 	b := []byte{msgEpoch}
 	b = appendU64(b, m.seq)
+	b = appendU64(b, m.trace)
+	b = appendU64(b, uint64(m.shipNanos))
 	if !m.full {
 		return append(b, 0)
 	}
@@ -318,6 +343,8 @@ func decodeEpoch(body []byte) (epochMsg, error) {
 	r := &reader{b: body[1:]}
 	var m epochMsg
 	m.seq = r.u64()
+	m.trace = r.u64()
+	m.shipNanos = int64(r.u64())
 	m.full = r.u8() == 1
 	if !m.full {
 		return m, r.done()
@@ -361,6 +388,7 @@ func decodeEpoch(body []byte) (epochMsg, error) {
 // — and therefore the merged checkpoint — shares one time base.
 type assignMsg struct {
 	shard      uint32
+	trace      uint64 // non-zero: the handoff span this assign continues
 	cursor     uint64
 	startNanos int64
 	bucket     int64
@@ -370,6 +398,7 @@ type assignMsg struct {
 func encodeAssign(m assignMsg) []byte {
 	b := []byte{msgAssign}
 	b = appendU32(b, m.shard)
+	b = appendU64(b, m.trace)
 	b = appendU64(b, m.cursor)
 	b = appendU64(b, uint64(m.startNanos))
 	b = appendU64(b, uint64(m.bucket))
@@ -381,6 +410,7 @@ func decodeAssign(body []byte) (assignMsg, error) {
 	r := &reader{b: body[1:]}
 	var m assignMsg
 	m.shard = r.u32()
+	m.trace = r.u64()
 	m.cursor = r.u64()
 	m.startNanos = int64(r.u64())
 	m.bucket = int64(r.u64())
@@ -388,14 +418,29 @@ func decodeAssign(body []byte) (assignMsg, error) {
 	return m, r.done()
 }
 
-func encodeShardOnly(typ byte, shard uint32) []byte {
-	return appendU32([]byte{typ}, shard)
+// shardCtrlMsg is the shared shape of Revoke and ReportReq: a shard id, the
+// trace span the request belongs to, and — for report requests — the
+// coordinator's send timestamp, echoed back in the report so the round-trip
+// is measured entirely on the coordinator's clock.
+type shardCtrlMsg struct {
+	shard uint32
+	trace uint64
+	nanos int64
 }
 
-func decodeShardOnly(body []byte) (uint32, error) {
+func encodeShardCtrl(typ byte, m shardCtrlMsg) []byte {
+	b := appendU32([]byte{typ}, m.shard)
+	b = appendU64(b, m.trace)
+	return appendU64(b, uint64(m.nanos))
+}
+
+func decodeShardCtrl(body []byte) (shardCtrlMsg, error) {
 	r := &reader{b: body[1:]}
-	shard := r.u32()
-	return shard, r.done()
+	var m shardCtrlMsg
+	m.shard = r.u32()
+	m.trace = r.u64()
+	m.nanos = int64(r.u64())
+	return m, r.done()
 }
 
 // flowsMsg carries a batch of flows for one shard. Base is the stream
@@ -513,10 +558,14 @@ func decodeFlowsZ(body []byte) (flowsMsg, error) {
 
 // reportMsg is a worker's quiescent shard checkpoint. Cursor is the shard
 // stream position the checkpoint incorporates (== its Processed count);
-// final marks the drain report that completes a Revoke.
+// final marks the drain report that completes a Revoke. Trace and reqNanos
+// echo the soliciting request's span fields (zero for unsolicited reports),
+// so the coordinator computes the round-trip on its own clock.
 type reportMsg struct {
 	shard      uint32
 	final      bool
+	trace      uint64
+	reqNanos   int64
 	cursor     uint64
 	checkpoint []byte
 }
@@ -529,6 +578,8 @@ func encodeReport(m reportMsg) []byte {
 	} else {
 		b = append(b, 0)
 	}
+	b = appendU64(b, m.trace)
+	b = appendU64(b, uint64(m.reqNanos))
 	b = appendU64(b, m.cursor)
 	b = appendU32(b, uint32(len(m.checkpoint)))
 	return append(b, m.checkpoint...)
@@ -539,9 +590,189 @@ func decodeReport(body []byte) (reportMsg, error) {
 	var m reportMsg
 	m.shard = r.u32()
 	m.final = r.u8() == 1
+	m.trace = r.u64()
+	m.reqNanos = int64(r.u64())
 	m.cursor = r.u64()
 	m.checkpoint = append([]byte(nil), r.bytes()...)
 	return m, r.done()
 }
 
 var heartbeatFrame = []byte{msgHeartbeat}
+
+// --- telemetry federation codec ---------------------------------------------
+
+// Federation bounds: a snapshot is clamped to these limits at the sender, so
+// a worker with a pathological registry degrades to partial telemetry
+// instead of a giant control-plane frame. Journal events the cap pushes out
+// of one frame ride in the next (the ack cursor only advances to what was
+// actually sent).
+const (
+	telemetryMaxSamples = 1024
+	telemetryMaxEvents  = 256
+	telemetryMaxLabels  = 16
+	telemetryMaxBounds  = 256
+)
+
+// wireSample is one federated metric instance: enough of the sample to
+// re-register it on the coordinator (name, help, kind, labels) plus its
+// current value or histogram snapshot.
+type wireSample struct {
+	name   string
+	help   string
+	kind   uint8 // 0 counter, 1 gauge, 2 histogram
+	labels []obs.Label
+	value  float64
+	hist   obs.HistogramSnapshot
+}
+
+// telemetryMsg is a worker's periodic telemetry snapshot: metric samples
+// (worker-labeled series only) and journal events since the last ack.
+// journalStart identifies the journal generation — a restarted worker
+// restarts Seq at 1, and the receiver tells a restart from a replay by the
+// changed start timestamp. epochSeq reports which routing epoch the worker
+// is classifying with, for the fleet status API.
+type telemetryMsg struct {
+	journalStart int64
+	epochSeq     uint64
+	samples      []wireSample
+	events       []obs.Event
+}
+
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func encodeTelemetry(m telemetryMsg) []byte {
+	if len(m.samples) > telemetryMaxSamples {
+		m.samples = m.samples[:telemetryMaxSamples]
+	}
+	if len(m.events) > telemetryMaxEvents {
+		m.events = m.events[:telemetryMaxEvents]
+	}
+	b := []byte{msgTelemetry}
+	b = appendU64(b, uint64(m.journalStart))
+	b = appendU64(b, m.epochSeq)
+	b = appendU32(b, uint32(len(m.samples)))
+	for _, s := range m.samples {
+		b = appendU32(b, uint32(len(s.name)))
+		b = append(b, s.name...)
+		b = appendU32(b, uint32(len(s.help)))
+		b = append(b, s.help...)
+		b = append(b, s.kind)
+		labels := s.labels
+		if len(labels) > telemetryMaxLabels {
+			labels = labels[:telemetryMaxLabels]
+		}
+		b = appendU16(b, uint16(len(labels)))
+		for _, l := range labels {
+			b = appendU32(b, uint32(len(l.Name)))
+			b = append(b, l.Name...)
+			b = appendU32(b, uint32(len(l.Value)))
+			b = append(b, l.Value...)
+		}
+		if s.kind == 2 {
+			bounds := s.hist.Bounds
+			counts := s.hist.Counts
+			if len(bounds) > telemetryMaxBounds {
+				bounds = bounds[:telemetryMaxBounds]
+				counts = counts[:telemetryMaxBounds+1]
+			}
+			b = appendU16(b, uint16(len(bounds)))
+			for _, v := range bounds {
+				b = appendF64(b, v)
+			}
+			for _, c := range counts {
+				b = appendU64(b, c)
+			}
+			b = appendU64(b, s.hist.Count)
+			b = appendF64(b, s.hist.Sum)
+		} else {
+			b = appendF64(b, s.value)
+		}
+	}
+	b = appendU32(b, uint32(len(m.events)))
+	for _, e := range m.events {
+		b = appendU64(b, e.Seq)
+		b = appendU64(b, uint64(e.Wall.UnixNano()))
+		b = appendU32(b, uint32(len(e.Kind)))
+		b = append(b, e.Kind...)
+		b = appendU32(b, uint32(len(e.Msg)))
+		b = append(b, e.Msg...)
+	}
+	return b
+}
+
+func decodeTelemetry(body []byte) (telemetryMsg, error) {
+	r := &reader{b: body[1:]}
+	var m telemetryMsg
+	m.journalStart = int64(r.u64())
+	m.epochSeq = r.u64()
+	ns := int(r.u32())
+	if ns > telemetryMaxSamples {
+		return m, fmt.Errorf("cluster: telemetry frame claims %d samples", ns)
+	}
+	m.samples = make([]wireSample, 0, ns)
+	for i := 0; i < ns && r.err == nil; i++ {
+		var s wireSample
+		s.name = string(r.bytes())
+		s.help = string(r.bytes())
+		s.kind = r.u8()
+		nl := int(r.u16())
+		if nl > telemetryMaxLabels {
+			return m, fmt.Errorf("cluster: telemetry sample claims %d labels", nl)
+		}
+		s.labels = make([]obs.Label, 0, nl)
+		for j := 0; j < nl && r.err == nil; j++ {
+			var l obs.Label
+			l.Name = string(r.bytes())
+			l.Value = string(r.bytes())
+			s.labels = append(s.labels, l)
+		}
+		if s.kind == 2 {
+			nb := int(r.u16())
+			if nb > telemetryMaxBounds {
+				return m, fmt.Errorf("cluster: telemetry histogram claims %d bounds", nb)
+			}
+			if r.err == nil && (nb*8)*2+8 > len(r.b) {
+				return m, io.ErrUnexpectedEOF
+			}
+			s.hist.Bounds = make([]float64, 0, nb)
+			for j := 0; j < nb && r.err == nil; j++ {
+				s.hist.Bounds = append(s.hist.Bounds, r.f64())
+			}
+			s.hist.Counts = make([]uint64, 0, nb+1)
+			for j := 0; j < nb+1 && r.err == nil; j++ {
+				s.hist.Counts = append(s.hist.Counts, r.u64())
+			}
+			s.hist.Count = r.u64()
+			s.hist.Sum = r.f64()
+		} else {
+			s.value = r.f64()
+		}
+		m.samples = append(m.samples, s)
+	}
+	ne := int(r.u32())
+	if ne > telemetryMaxEvents {
+		return m, fmt.Errorf("cluster: telemetry frame claims %d events", ne)
+	}
+	m.events = make([]obs.Event, 0, ne)
+	for i := 0; i < ne && r.err == nil; i++ {
+		var e obs.Event
+		e.Seq = r.u64()
+		e.Wall = time.Unix(0, int64(r.u64())).UTC()
+		e.Kind = string(r.bytes())
+		e.Msg = string(r.bytes())
+		m.events = append(m.events, e)
+	}
+	return m, r.done()
+}
+
+func encodeTelemetryAck(seq uint64) []byte {
+	return appendU64([]byte{msgTelemetryAck}, seq)
+}
+
+func decodeTelemetryAck(body []byte) (uint64, error) {
+	r := &reader{b: body[1:]}
+	seq := r.u64()
+	return seq, r.done()
+}

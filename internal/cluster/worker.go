@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -55,6 +57,21 @@ type WorkerConfig struct {
 	Seed           int64
 	// Telemetry, when non-nil, registers worker metrics and journal events.
 	Telemetry *obs.Telemetry
+	// Federate ships periodic telemetry frames (worker-labeled metric
+	// samples plus journal events since the last ack) to the coordinator
+	// over the control plane, so one scrape of the coordinator covers the
+	// fleet. Leave it off when worker and coordinator already share one
+	// Telemetry (the in-process cluster mode) — federating a shared
+	// registry would double every series.
+	Federate bool
+	// TelemetryInterval paces federation frames (default: twice the
+	// heartbeat interval).
+	TelemetryInterval time.Duration
+	// PublishHealth installs this worker as the Telemetry's readiness
+	// source: ready once it owns at least one shard and has a promoted
+	// pipeline. Only one component per Telemetry should publish health —
+	// the standalone worker daemon does, embedded workers do not.
+	PublishHealth bool
 }
 
 func (c *WorkerConfig) interval() time.Duration {
@@ -73,6 +90,13 @@ func (c *WorkerConfig) misses() int {
 
 func (c *WorkerConfig) deadline() time.Duration {
 	return c.interval() * time.Duration(c.misses())
+}
+
+func (c *WorkerConfig) telemetryEvery() time.Duration {
+	if c.TelemetryInterval > 0 {
+		return c.TelemetryInterval
+	}
+	return 2 * c.interval()
 }
 
 // workerShard is one owned shard: a full single-process runtime draining
@@ -102,6 +126,18 @@ type Worker struct {
 	giveUps    uint64
 	reports    uint64
 	flowsIn    uint64
+
+	// Federation cursors: telSent is the highest journal Seq shipped in a
+	// telemetry frame this session, telAcked the highest the coordinator
+	// acknowledged. A new session rewinds telSent to telAcked so unacked
+	// events are retransmitted (the receiver dedups by Seq).
+	telSent  uint64
+	telAcked uint64
+
+	// Epoch-propagation histograms (ship → local milestone), registered
+	// when Telemetry is set.
+	epochCompile *obs.Histogram
+	epochVerdict *obs.Histogram
 }
 
 // NewWorker validates the configuration and registers telemetry.
@@ -116,8 +152,30 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		w.instrument(tel)
+		if cfg.PublishHealth {
+			tel.SetHealth(w.health)
+		}
 	}
 	return w, nil
+}
+
+// health is the standalone daemon's readiness verdict: ready once the
+// worker owns at least one shard and classifies with a promoted pipeline.
+// It answers from local state, so /healthz keeps working while the
+// coordinator is unreachable.
+func (w *Worker) health() obs.Health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.pipeline == nil:
+		return obs.Health{Status: "unready", Detail: "no routing epoch compiled yet"}
+	case len(w.shards) == 0:
+		return obs.Health{Status: "unready",
+			Detail: fmt.Sprintf("epoch %d compiled, no shards assigned", w.epochSeq)}
+	default:
+		return obs.Health{Ready: true, Status: "ok",
+			Detail: fmt.Sprintf("%d shards at epoch %d", len(w.shards), w.epochSeq)}
+	}
 }
 
 func (w *Worker) instrument(tel *obs.Telemetry) {
@@ -141,6 +199,32 @@ func (w *Worker) instrument(tel *obs.Telemetry) {
 	m.GaugeFunc("spoofscope_cluster_worker_shards",
 		"Shards currently owned.",
 		func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(len(w.shards)) }, name)
+	for c := 0; c < core.NumTrafficClasses; c++ {
+		class := core.TrafficClass(c)
+		m.CounterFunc(MetricWorkerClassFlows,
+			"Flows classified on this worker, by traffic class, summed over owned shards.",
+			locked(func() uint64 {
+				var total uint64
+				for _, s := range w.shards {
+					total += s.rt.ClassTotals()[class].Flows
+				}
+				return total
+			}), name, obs.Label{Name: "class", Value: class.String()})
+	}
+	w.epochCompile = m.Histogram(MetricEpochPropagation,
+		"Seconds from the coordinator shipping an epoch to a local milestone (by stage).",
+		obs.WireBuckets, name, obs.Label{Name: "stage", Value: "compile"})
+	w.epochVerdict = m.Histogram(MetricEpochPropagation,
+		"Seconds from the coordinator shipping an epoch to a local milestone (by stage).",
+		obs.WireBuckets, name, obs.Label{Name: "stage", Value: "first-verdict"})
+}
+
+// shardCursorLabels identifies one shard's federated cursor gauge.
+func (w *Worker) shardCursorLabels(shard uint32) []obs.Label {
+	return []obs.Label{
+		{Name: "worker", Value: w.label()},
+		{Name: "shard", Value: strconv.FormatUint(uint64(shard), 10)},
+	}
 }
 
 func (w *Worker) label() string {
@@ -269,20 +353,53 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) error {
 	// The reporter serializes quiescent checkpoint reports off the read
 	// loop, so a slow drain never starves heartbeat reads.
 	type reportReq struct {
-		shard uint32
-		final bool
+		shard    uint32
+		final    bool
+		trace    uint64
+		reqNanos int64
 	}
 	reportc := make(chan reportReq, 64)
 	go func() {
 		for {
 			select {
 			case r := <-reportc:
-				w.report(sctx, r.shard, r.final, send)
+				w.report(sctx, r.shard, r.final, r.trace, r.reqNanos, send)
 			case <-sctx.Done():
 				return
 			}
 		}
 	}()
+
+	// The telemetry sender federates this worker's observability upstream.
+	// Frames are best-effort: a congested outbound queue drops the tick
+	// (metrics are snapshots, and the event cursor only advances on a
+	// successful enqueue, so unsent journal events ride the next frame).
+	if w.cfg.Federate && w.cfg.Telemetry != nil {
+		w.mu.Lock()
+		w.telSent = w.telAcked
+		w.mu.Unlock()
+		go func() {
+			t := time.NewTicker(w.cfg.telemetryEvery())
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					frame, top := w.telemetryFrame()
+					select {
+					case out <- frame:
+						w.mu.Lock()
+						if top > w.telSent {
+							w.telSent = top
+						}
+						w.mu.Unlock()
+					default:
+					}
+				case <-sctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	for {
 		select {
@@ -304,7 +421,7 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if err := w.applyEpoch(m); err != nil {
+			if err := w.applyEpoch(sctx, m); err != nil {
 				return err
 			}
 		case msgAssign:
@@ -324,39 +441,115 @@ func (w *Worker) session(ctx context.Context, conn net.Conn) error {
 				return err
 			}
 		case msgReportReq:
-			shard, err := decodeShardOnly(body)
+			m, err := decodeShardCtrl(body)
 			if err != nil {
 				return err
 			}
 			select {
-			case reportc <- reportReq{shard: shard}:
+			case reportc <- reportReq{shard: m.shard, trace: m.trace, reqNanos: m.nanos}:
 			default:
 				// A full report queue means one is already pending for
 				// this link; dropping the request is safe — the
 				// coordinator re-asks.
 			}
 		case msgRevoke:
-			shard, err := decodeShardOnly(body)
+			m, err := decodeShardCtrl(body)
 			if err != nil {
 				return err
 			}
-			w.cfg.Telemetry.Recordf(obs.EventShardRevoke, "%s draining shard %d", w.label(), shard)
+			w.cfg.Telemetry.Recordf(obs.EventShardRevoke,
+				"%s draining shard %d (trace %016x)", w.label(), m.shard, m.trace)
 			select {
-			case reportc <- reportReq{shard: shard, final: true}:
+			case reportc <- reportReq{shard: m.shard, final: true, trace: m.trace}:
 			case <-sctx.Done():
 				return errors.New("cluster: session cancelled")
 			}
+		case msgTelemetryAck:
+			seq, err := decodeTelemetryAck(body)
+			if err != nil {
+				return err
+			}
+			w.mu.Lock()
+			if seq > w.telAcked {
+				w.telAcked = seq
+			}
+			w.mu.Unlock()
 		default:
 			return fmt.Errorf("cluster: unexpected message type %d", body[0])
 		}
 	}
 }
 
+// telemetryFrame snapshots this worker's observability into one federation
+// frame: every metric sample labeled with this worker's name (the shared
+// registry may also hold other components' series — those stay local) and
+// the journal events past the last shipped cursor. top is the highest
+// event Seq included, which becomes telSent if the frame is enqueued.
+func (w *Worker) telemetryFrame() (frame []byte, top uint64) {
+	tel := w.cfg.Telemetry
+	label := w.label()
+	var samples []wireSample
+	for _, f := range tel.Metrics.Export() {
+		var kind uint8
+		switch f.Kind {
+		case "counter":
+			kind = 0
+		case "gauge":
+			kind = 1
+		case "histogram":
+			kind = 2
+		default:
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels["worker"] != label {
+				continue
+			}
+			ws := wireSample{name: f.Name, help: f.Help, kind: kind}
+			names := make([]string, 0, len(s.Labels))
+			for n := range s.Labels {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				ws.labels = append(ws.labels, obs.Label{Name: n, Value: s.Labels[n]})
+			}
+			if kind == 2 {
+				if s.Histogram != nil {
+					ws.hist = *s.Histogram
+				}
+			} else if s.Value != nil {
+				ws.value = *s.Value
+			}
+			samples = append(samples, ws)
+		}
+	}
+	w.mu.Lock()
+	since := w.telSent
+	epoch := w.epochSeq
+	w.mu.Unlock()
+	events, _ := tel.Journal.EventsSince(since, "")
+	if len(events) > telemetryMaxEvents {
+		events = events[:telemetryMaxEvents]
+	}
+	top = since
+	if len(events) > 0 {
+		top = events[len(events)-1].Seq
+	}
+	frame = encodeTelemetry(telemetryMsg{
+		journalStart: tel.Journal.StartNanos(),
+		epochSeq:     epoch,
+		samples:      samples,
+		events:       events,
+	})
+	return frame, top
+}
+
 // applyEpoch compiles a distributed routing snapshot. A bump (no payload)
 // just advances the sequence; a full epoch rebuilds the RIB and recompiles
 // the pipeline, reusing layers the previous pipeline's fingerprint still
 // covers, then swaps it into every owned shard runtime.
-func (w *Worker) applyEpoch(m epochMsg) error {
+func (w *Worker) applyEpoch(sctx context.Context, m epochMsg) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.epochSeq = m.seq
@@ -377,7 +570,64 @@ func (w *Worker) applyEpoch(m epochMsg) error {
 	}
 	w.cfg.Telemetry.Recordf(obs.EventClusterEpoch,
 		"%s compiled epoch %d (%d announcements)", w.label(), m.seq, len(m.anns))
+	// Epoch-propagation span: the frame carries the coordinator's ship
+	// time, so the compile stage is ship → pipeline promoted (assumes
+	// same-host or synchronized clocks; skew shows up as outliers, not
+	// corruption). The first-verdict stage completes asynchronously when
+	// a shard classifies its first flow under the new pipeline.
+	if m.shipNanos > 0 && w.epochCompile != nil {
+		ship := time.Unix(0, m.shipNanos)
+		if d := time.Since(ship); d > 0 {
+			w.epochCompile.Observe(d.Seconds())
+		}
+		w.cfg.Telemetry.Recordf(obs.EventSpanEpoch,
+			"trace %016x epoch %d stage=compile worker=%s (%d announcements)",
+			m.trace, m.seq, w.label(), len(m.anns))
+		var baseline uint64
+		for _, s := range w.shards {
+			for _, c := range s.rt.ClassTotals() {
+				baseline += c.Flows
+			}
+		}
+		go w.watchFirstVerdict(sctx, m.trace, m.seq, ship, baseline)
+	}
 	return nil
+}
+
+// watchFirstVerdict polls until some shard's classified-flow total moves
+// past the count at epoch promotion — the first verdict rendered under the
+// new pipeline — then observes the ship→first-verdict stage and exits. A
+// newer epoch or session loss abandons the watch.
+func (w *Worker) watchFirstVerdict(sctx context.Context, trace, seq uint64, ship time.Time, baseline uint64) {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-sctx.Done():
+			return
+		}
+		w.mu.Lock()
+		if w.epochSeq != seq {
+			w.mu.Unlock()
+			return
+		}
+		var total uint64
+		for _, s := range w.shards {
+			for _, c := range s.rt.ClassTotals() {
+				total += c.Flows
+			}
+		}
+		w.mu.Unlock()
+		if total > baseline {
+			if d := time.Since(ship); d > 0 && w.epochVerdict != nil {
+				w.epochVerdict.Observe(d.Seconds())
+			}
+			w.cfg.Telemetry.Recordf(obs.EventSpanEpoch,
+				"trace %016x epoch %d stage=first-verdict worker=%s", trace, seq, w.label())
+			return
+		}
+	}
 }
 
 func (w *Worker) applyAssign(sctx context.Context, m assignMsg) error {
@@ -416,8 +666,21 @@ func (w *Worker) applyAssign(sctx context.Context, m assignMsg) error {
 		defer close(s.drain)
 		s.rt.RunParallel(sctx, workers, nil)
 	}()
+	if tel := w.cfg.Telemetry; tel != nil {
+		shard := m.shard
+		tel.Metrics.GaugeFunc(MetricWorkerShardCursor,
+			"Absolute shard-stream position ingested so far, per owned shard.",
+			func() float64 {
+				w.mu.Lock()
+				defer w.mu.Unlock()
+				if s, ok := w.shards[shard]; ok {
+					return float64(s.cursor)
+				}
+				return 0
+			}, w.shardCursorLabels(m.shard)...)
+	}
 	w.cfg.Telemetry.Recordf(obs.EventShardAssign,
-		"%s owns shard %d from cursor %d", w.label(), m.shard, m.cursor)
+		"%s owns shard %d from cursor %d (trace %016x)", w.label(), m.shard, m.cursor, m.trace)
 	return nil
 }
 
@@ -451,7 +714,7 @@ func (w *Worker) applyFlows(m flowsMsg) error {
 // (the coordinator re-asks); a final report — the revoke drain — keeps
 // trying until the session dies, because the coordinator has stopped the
 // shard's stream and is waiting on it.
-func (w *Worker) report(sctx context.Context, shard uint32, final bool, send func([]byte) bool) {
+func (w *Worker) report(sctx context.Context, shard uint32, final bool, trace uint64, reqNanos int64, send func([]byte) bool) {
 	deadline := time.Now().Add(w.cfg.deadline())
 	for {
 		if sctx.Err() != nil {
@@ -473,8 +736,14 @@ func (w *Worker) report(sctx context.Context, shard uint32, final bool, send fun
 		w.mu.Unlock()
 		if err == nil && c1 == c2 {
 			// Quiescent at a pinned cursor: the checkpoint incorporates
-			// exactly c1 flows of the shard stream.
-			if !send(encodeReport(reportMsg{shard: shard, final: final, cursor: c1, checkpoint: buf.Bytes()})) {
+			// exactly c1 flows of the shard stream. The report echoes the
+			// request's trace and send timestamp, so the coordinator ties
+			// it to the span that asked and measures the round-trip on
+			// its own clock.
+			if !send(encodeReport(reportMsg{
+				shard: shard, final: final, trace: trace, reqNanos: reqNanos,
+				cursor: c1, checkpoint: buf.Bytes(),
+			})) {
 				return
 			}
 			w.mu.Lock()
@@ -484,6 +753,9 @@ func (w *Worker) report(sctx context.Context, shard uint32, final bool, send fun
 			}
 			w.mu.Unlock()
 			if final {
+				if tel := w.cfg.Telemetry; tel != nil {
+					tel.Metrics.Unregister(MetricWorkerShardCursor, w.shardCursorLabels(shard)...)
+				}
 				s.rt.Close()
 				<-s.drain
 			}
@@ -505,6 +777,9 @@ func (w *Worker) teardown() {
 	w.shards = make(map[uint32]*workerShard)
 	w.mu.Unlock()
 	for _, s := range shards {
+		if tel := w.cfg.Telemetry; tel != nil {
+			tel.Metrics.Unregister(MetricWorkerShardCursor, w.shardCursorLabels(s.id)...)
+		}
 		s.rt.Close()
 		<-s.drain
 	}

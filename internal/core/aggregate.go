@@ -25,6 +25,11 @@ const (
 	numTrafficClasses
 )
 
+// NumTrafficClasses is the number of aggregate traffic classes — the length
+// of every per-class tally. Exported so cluster telemetry can enumerate
+// classes without restating the enum.
+const NumTrafficClasses = int(numTrafficClasses)
+
 func (c TrafficClass) String() string {
 	switch c {
 	case TCRegular:

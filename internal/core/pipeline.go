@@ -195,10 +195,10 @@ type Pipeline struct {
 	originsLPM *netx.LPM
 	bogonEntry []bool
 	graph      *astopo.Graph
-	full    *astopo.Closure
-	cc      *astopo.Closure
-	naive   *astopo.NaiveIndex
-	routers RouterSet
+	full       *astopo.Closure
+	cc         *astopo.Closure
+	naive      *astopo.NaiveIndex
+	routers    RouterSet
 	// routersFlat is the router set rebuilt as an open-addressing scalar
 	// hash set when the attached RouterSet can enumerate itself — one or
 	// two cache lines per probe instead of a Go map walk.

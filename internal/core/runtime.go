@@ -412,6 +412,19 @@ func (rt *Runtime) Aggregator() *Aggregator {
 	return rt.agg
 }
 
+// ClassTotals returns a copy of the canonical aggregate's per-class totals,
+// indexed by TrafficClass, taken under the runtime lock — unlike
+// Aggregator, it is safe to call while parallel drains are merging. During
+// a parallel run the tallies lag by at most the workers' unmerged batches
+// (the same guarantee the per-class scrape metrics give).
+func (rt *Runtime) ClassTotals() []Counter {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]Counter, numTrafficClasses)
+	copy(out, rt.agg.Total[:])
+	return out
+}
+
 // Stats returns a snapshot of the runtime's health counters. Processed is
 // updated per classified flow even while parallel workers hold unmerged
 // batches, so an operator always sees live progress.

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The observability-plane primitives federation builds on: func-backed
+// histograms, sample unregistration, incremental journal reads with gap
+// detection, forwarded events, and published JSON status pages.
+
+func TestHistogramFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	snap := HistogramSnapshot{
+		Bounds: []float64{0.1, 1},
+		Counts: []uint64{2, 1, 0},
+		Count:  3,
+		Sum:    0.7,
+	}
+	r.HistogramFunc("fed_seconds", "Federated histogram.",
+		func() HistogramSnapshot { return snap },
+		Label{Name: "worker", Value: "w1"})
+
+	got, ok := r.FindHistogram("fed_seconds", Label{Name: "worker", Value: "w1"})
+	if !ok || got.Count != 3 || got.Sum != 0.7 || len(got.Bounds) != 2 {
+		t.Fatalf("FindHistogram through func: %+v ok=%v", got, ok)
+	}
+
+	var text strings.Builder
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fed_seconds_bucket{worker="w1",le="0.1"} 2`,
+		`fed_seconds_count{worker="w1"} 3`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+func TestUnregisterDropsSample(t *testing.T) {
+	r := NewRegistry()
+	w1 := Label{Name: "worker", Value: "w1"}
+	w2 := Label{Name: "worker", Value: "w2"}
+	r.CounterFunc("fleet_total", "Fleet counter.", func() uint64 { return 1 }, w1)
+	r.CounterFunc("fleet_total", "Fleet counter.", func() uint64 { return 2 }, w2)
+
+	r.Unregister("fleet_total", w1)
+	var text strings.Builder
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), `worker="w1"`) || !strings.Contains(text.String(), `worker="w2"`) {
+		t.Fatalf("unregister left wrong samples:\n%s", text.String())
+	}
+
+	// Dropping the last sample removes the family entirely.
+	r.Unregister("fleet_total", w2)
+	text.Reset()
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "fleet_total") {
+		t.Fatalf("empty family still exposed:\n%s", text.String())
+	}
+	// Unregistering what is already gone is a no-op, not a panic.
+	r.Unregister("fleet_total", w2)
+	r.Unregister("never_registered")
+}
+
+func TestEventsSinceAndGap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 1; i <= 3; i++ {
+		j.Recordf("k", "event %d", i)
+	}
+	ev, gap := j.EventsSince(0, "")
+	if gap || len(ev) != 3 || ev[0].Seq != 1 {
+		t.Fatalf("since 0: %d events gap=%v", len(ev), gap)
+	}
+	ev, gap = j.EventsSince(2, "")
+	if gap || len(ev) != 1 || ev[0].Seq != 3 {
+		t.Fatalf("since 2: %+v gap=%v", ev, gap)
+	}
+	if ev, gap = j.EventsSince(3, ""); gap || len(ev) != 0 {
+		t.Fatalf("caught up: %d events gap=%v", len(ev), gap)
+	}
+
+	// Overflow the ring: seqs 1..3 are evicted (capacity 4, 7 recorded).
+	for i := 4; i <= 7; i++ {
+		j.Recordf("other", "event %d", i)
+	}
+	ev, gap = j.EventsSince(1, "")
+	if !gap || len(ev) != 4 || ev[0].Seq != 4 {
+		t.Fatalf("after eviction since 1: %d events gap=%v", len(ev), gap)
+	}
+	// A cursor at the eviction boundary has lost nothing.
+	if _, gap = j.EventsSince(3, ""); gap {
+		t.Fatal("since 3 flagged a gap; seqs 4..7 are all retained")
+	}
+	if j.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", j.Dropped())
+	}
+
+	// Kind filter composes with since.
+	ev, _ = j.EventsSince(0, "other")
+	if len(ev) != 4 {
+		t.Fatalf("kind filter: %d events, want 4", len(ev))
+	}
+	if ev, _ = j.EventsSince(0, "k"); len(ev) != 0 {
+		t.Fatalf("evicted kind still returned: %+v", ev)
+	}
+}
+
+func TestRecordForwarded(t *testing.T) {
+	j := NewJournal(8)
+	j.Record("local", "first")
+	j.RecordForwarded("w1", Event{
+		Seq:  41,
+		Wall: time.Unix(100, 0).UTC(),
+		Kind: "span-epoch",
+		Msg:  "trace x",
+	})
+	ev := j.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events: %d", len(ev))
+	}
+	fwd := ev[1]
+	if fwd.Seq != 2 || fwd.Origin != "w1" || fwd.OriginSeq != 41 ||
+		fwd.Kind != "span-epoch" || !fwd.Wall.Equal(time.Unix(100, 0)) {
+		t.Fatalf("forwarded event: %+v", fwd)
+	}
+}
+
+func TestServerEventsSinceKindAndStatus(t *testing.T) {
+	tel := NewTelemetry()
+	small := NewJournal(4)
+	tel.Journal = small
+	for i := 1; i <= 3; i++ {
+		tel.Record(EventCheckpoint, "wrote")
+		tel.Record(EventEpochSwap, "promoted")
+	}
+	tel.PublishJSON("/cluster", func() any {
+		return map[string]any{"role": "coordinator"}
+	})
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	var page struct {
+		Dropped uint64  `json:"dropped"`
+		Gap     bool    `json:"gap"`
+		Head    uint64  `json:"head"`
+		Events  []Event `json:"events"`
+	}
+	// 6 events through a 4-slot ring: seqs 1..2 evicted. A poll from 0
+	// must flag the gap and report the evictions.
+	code, body := get("/events?since=0")
+	if code != 200 {
+		t.Fatalf("/events?since=0: code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if !page.Gap || page.Dropped != 2 || page.Head != 6 || len(page.Events) != 4 {
+		t.Fatalf("gap poll: %+v", page)
+	}
+
+	// From the head cursor: caught up, no gap.
+	code, body = get("/events?since=6&kind=" + EventCheckpoint)
+	if code != 200 {
+		t.Fatalf("code=%d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Gap || len(page.Events) != 0 || page.Head != 6 {
+		t.Fatalf("caught-up poll: %+v", page)
+	}
+
+	// Kind filter composes with a mid-stream cursor.
+	_, body = get("/events?since=4&kind=" + EventEpochSwap)
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Kind != EventEpochSwap {
+		t.Fatalf("kind filter: %+v", page)
+	}
+
+	if code, _ := get("/events?since=notanumber"); code != http.StatusBadRequest {
+		t.Fatalf("bad since: code=%d, want 400", code)
+	}
+
+	// Published status pages serve live JSON and appear in the index.
+	code, body = get("/cluster")
+	if code != 200 || !strings.Contains(body, `"role": "coordinator"`) {
+		t.Fatalf("/cluster: code=%d body=%q", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/cluster") {
+		t.Fatalf("index missing status page: code=%d body=%q", code, body)
+	}
+}

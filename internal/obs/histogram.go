@@ -27,6 +27,16 @@ var BuildBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 25, 60, 120,
 }
 
+// WireBuckets is the bucket ladder for cluster wire-level span durations
+// (epoch propagation, shard handoff, report round-trips), in seconds: from
+// 100µs (loopback control-plane round-trip) to 30s (a full-table cold
+// compile on a slow worker), log-spaced so both a healthy LAN handoff and a
+// degraded WAN one keep resolution.
+var WireBuckets = []float64{
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
 // Histogram is a fixed-bucket concurrent histogram: observations land in
 // the first bucket whose upper bound is >= the value (+Inf implicit).
 // Observe is lock-free (binary search + two atomic adds + a CAS for the

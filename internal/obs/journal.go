@@ -49,6 +49,14 @@ const (
 	EventLedgerResume = "ledger-resume"
 	EventTakeover     = "coordinator-takeover"
 	EventShardReclaim = "shard-reclaim"
+
+	// Cluster observability plane: wire-level trace spans and telemetry
+	// federation (DESIGN.md §5g).
+	EventSpanEpoch      = "span-epoch"
+	EventSpanHandoff    = "span-handoff"
+	EventTelemetryJoin  = "telemetry-join"
+	EventTelemetryLost  = "telemetry-lost"
+	EventTelemetryError = "telemetry-error"
 )
 
 // Event is one structured journal entry.
@@ -62,6 +70,11 @@ type Event struct {
 	Mono time.Duration `json:"mono"`
 	Kind string        `json:"kind"`
 	Msg  string        `json:"msg"`
+	// Origin and OriginSeq identify a forwarded event: the identity of the
+	// journal it was first recorded in and its Seq there. Both are empty for
+	// locally recorded events. The local Seq above stays gap-free either way.
+	Origin    string `json:"origin,omitempty"`
+	OriginSeq uint64 `json:"originSeq,omitempty"`
 }
 
 // Journal is a bounded in-memory ring of structured events: epoch swaps,
@@ -120,6 +133,35 @@ func (j *Journal) Recordf(kind, format string, args ...any) {
 	j.Record(kind, fmt.Sprintf(format, args...))
 }
 
+// RecordForwarded interleaves an event first recorded in another process's
+// journal: kind, message, and wall timestamp are preserved from the origin,
+// Origin/OriginSeq tag where it came from, and the event still gets a fresh
+// local Seq (keeping the gap-free-Seq invariant) and a local Mono offset.
+func (j *Journal) RecordForwarded(origin string, e Event) {
+	if j == nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	fe := Event{
+		Seq: j.seq, Wall: e.Wall, Mono: now.Sub(j.start),
+		Kind: e.Kind, Msg: e.Msg, Origin: origin, OriginSeq: e.Seq,
+	}
+	if fe.Wall.IsZero() {
+		fe.Wall = now
+	}
+	if j.n == len(j.ring) {
+		j.ring[j.head] = fe
+		j.head = (j.head + 1) % len(j.ring)
+		j.dropped++
+		return
+	}
+	j.ring[(j.head+j.n)%len(j.ring)] = fe
+	j.n++
+}
+
 // Events returns a copy of the retained events, oldest first.
 func (j *Journal) Events() []Event {
 	if j == nil {
@@ -132,6 +174,58 @@ func (j *Journal) Events() []Event {
 		out[i] = j.ring[(j.head+i)%len(j.ring)]
 	}
 	return out
+}
+
+// EventsSince returns the retained events with Seq > since, oldest first,
+// optionally restricted to one kind (empty kind matches all). gap reports
+// that eviction lost events the caller has not seen: since names a sequence
+// number older than the oldest retained event. A since of 0 means "from the
+// beginning" and only gaps when events have actually been dropped. This is
+// the incremental-poll primitive behind /events?since=.
+func (j *Journal) EventsSince(since uint64, kind string) (events []Event, gap bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n == 0 {
+		return nil, false
+	}
+	oldest := j.seq - uint64(j.n) + 1
+	gap = since+1 < oldest
+	for i := 0; i < j.n; i++ {
+		e := j.ring[(j.head+i)%len(j.ring)]
+		if e.Seq <= since {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, gap
+}
+
+// Seq returns the sequence number of the most recently recorded event
+// (0 before the first Record).
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// StartNanos returns the journal's creation wall time in unix nanoseconds.
+// A restarted process gets a fresh journal whose Seq restarts at 1; the
+// (origin, StartNanos) pair lets a federation receiver tell a restart from
+// a retransmission and reset its dedup cursor accordingly.
+func (j *Journal) StartNanos() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.start.UnixNano()
 }
 
 // Len returns the number of retained events.

@@ -14,11 +14,14 @@ import (
 //
 //	/metrics       Prometheus text exposition (?format=json for JSON)
 //	/healthz       readiness JSON; HTTP 503 while unready
-//	/events        the event journal as JSON (?n=K for the trailing K)
+//	/events        the event journal as JSON (?n=K for the trailing K,
+//	               ?since=S for events with seq > S, ?kind=K to filter by
+//	               kind; the reply's gap field reports eviction losses)
 //	/debug/pprof/  the standard pprof endpoints
 //
-// Use it to embed telemetry in an existing server; Serve starts a
-// standalone one.
+// plus any JSON status pages published via Telemetry.PublishJSON (the
+// cluster coordinator mounts /cluster this way). Use it to embed telemetry
+// in an existing server; Serve starts a standalone one.
 func Handler(t *Telemetry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -39,8 +42,18 @@ func Handler(t *Telemetry) http.Handler {
 		json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
-		events := t.Journal.Events()
-		if s := req.URL.Query().Get("n"); s != "" {
+		q := req.URL.Query()
+		var since uint64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		events, gap := t.Journal.EventsSince(since, q.Get("kind"))
+		if s := q.Get("n"); s != "" {
 			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
 				events = events[len(events)-n:]
 			}
@@ -49,9 +62,16 @@ func Handler(t *Telemetry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
-			Dropped uint64  `json:"dropped"`
-			Events  []Event `json:"events"`
-		}{t.Journal.Dropped(), events})
+			Dropped uint64 `json:"dropped"`
+			// Gap reports that eviction lost events between the requested
+			// since and the oldest retained event — the poller's cursor
+			// fell off the ring tail.
+			Gap bool `json:"gap"`
+			// Head is the newest sequence number; pass it back as ?since=
+			// on the next poll.
+			Head   uint64  `json:"head"`
+			Events []Event `json:"events"`
+		}{t.Journal.Dropped(), gap, t.Journal.Seq(), events})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -59,11 +79,21 @@ func Handler(t *Telemetry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if fn, ok := t.statusPage(req.URL.Path); ok {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(fn())
+			return
+		}
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		fmt.Fprint(w, "spoofscope telemetry\n\n/metrics\n/metrics?format=json\n/healthz\n/events\n/debug/pprof/\n")
+		for _, p := range t.statusPaths() {
+			fmt.Fprintln(w, p)
+		}
 	})
 	return mux
 }

@@ -1,6 +1,10 @@
 package obs
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Health is a readiness verdict, the /healthz payload.
 type Health struct {
@@ -24,12 +28,68 @@ type Telemetry struct {
 	Journal *Journal
 
 	health atomic.Pointer[func() Health]
+
+	statusMu sync.Mutex
+	status   map[string]func() any
 }
 
+// MetricJournalDropped counts journal events evicted from the bounded ring;
+// paired with the Gap marker in /events it tells an incremental poller that
+// history was lost between two polls.
+const MetricJournalDropped = "spoofscope_journal_dropped_total"
+
 // NewTelemetry builds a Telemetry with an empty registry and a
-// default-capacity journal.
+// default-capacity journal. The journal's eviction counter is pre-wired as
+// MetricJournalDropped so ring overflow is visible from /metrics.
 func NewTelemetry() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Journal: NewJournal(0)}
+	t := &Telemetry{Metrics: NewRegistry(), Journal: NewJournal(0)}
+	t.Metrics.CounterFunc(MetricJournalDropped,
+		"Journal events evicted from the bounded ring to make room for newer ones.",
+		t.Journal.Dropped)
+	return t
+}
+
+// PublishJSON mounts a JSON status page at path on any server built from
+// this Telemetry: each request evaluates fn and renders the result as
+// indented JSON. Re-publishing a path replaces its source (latest wins —
+// a promoted standby takes over /cluster from its warm-ledger view this
+// way). Safe on a nil Telemetry.
+func (t *Telemetry) PublishJSON(path string, fn func() any) {
+	if t == nil || path == "" || path == "/" {
+		return
+	}
+	t.statusMu.Lock()
+	defer t.statusMu.Unlock()
+	if t.status == nil {
+		t.status = make(map[string]func() any)
+	}
+	t.status[path] = fn
+}
+
+// statusPage returns the published source for path, if any.
+func (t *Telemetry) statusPage(path string) (func() any, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.statusMu.Lock()
+	defer t.statusMu.Unlock()
+	fn, ok := t.status[path]
+	return fn, ok
+}
+
+// statusPaths lists the published page paths, sorted.
+func (t *Telemetry) statusPaths() []string {
+	if t == nil {
+		return nil
+	}
+	t.statusMu.Lock()
+	defer t.statusMu.Unlock()
+	paths := make([]string, 0, len(t.status))
+	for p := range t.status {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // SetHealth installs the readiness source (typically the live runtime's;
