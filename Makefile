@@ -66,17 +66,20 @@ cluster-obs:
 	$(GO) test -race -timeout 120s -run 'TestClusterTelemetryFederation|TestChaosScrapeConsistency' -count=1 ./internal/cluster
 
 # bench measures live-runtime consumption throughput (sequential Step loop
-# vs the batch-parallel consumer at 1/2/4/8 workers), pipeline compilation
-# latency (cold at 1/2/4/8 build workers and incremental, at paper and
-# ~50K-AS full-table scale), the cluster flow transport over TCP loopback
-# (frame batch 1/64/512 × deflate off/on, plus interleaved plain/telemetry
-# federation-overhead pairs at batch 64/512), and the single-core classify hot
-# path (perflow/batch256 × trie/flat indexes, with allocation counts),
-# recording the machine-readable baseline in BENCH_runtime.json. The
-# document carries the recording host's CPU count, so single-core baselines
-# are self-describing.
+# vs the batch-parallel consumer at 1/2/4/8 workers), the end-to-end ingest
+# path (wire-image IPFIX decode -> batched queue -> drain -> classify ->
+# aggregate, with the allocs/op that must stay effectively zero), pipeline
+# compilation latency (cold at 1/2/4/8 build workers and incremental, at
+# paper and ~50K-AS full-table scale), the cluster flow transport over TCP
+# loopback (frame batch 1/64/512 × deflate off/on, plus interleaved
+# plain/telemetry federation-overhead pairs at batch 64/512), and the
+# single-core classify hot path (perflow/batch256 × trie/flat indexes, with
+# allocation counts), recording the machine-readable baseline in
+# BENCH_runtime.json. The document carries the recording host's CPU count,
+# so single-core baselines are self-describing.
 bench:
 	( $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkIngestPath -benchtime=10x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x . ; \
 	  $(GO) test -run='^$$' -bench='BenchmarkClusterTransport/^batch-' -benchtime=1x . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ; \
@@ -91,26 +94,33 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x .
 	SPOOFSCOPE_BENCH_SMOKE=1 $(GO) test -run='^$$' -bench=BenchmarkPipelineBuild -benchtime=1x .
 
-# bench-compare remeasures the classify hot path and the federation-overhead
-# transport pairs and gates them against the committed BENCH_runtime.json:
-# any perflow/batch × trie/flat variant whose flows/sec fell more than 15%
-# below the baseline fails, and so does an overhead pair where telemetry
-# federation costs more than 5% throughput against the plain lifecycle
-# interleaved with it in the same run. Run it on classifier, index, or
-# observability-plane changes; refresh the baseline with `make bench` when a
-# speedup (or an accepted cost) moves the numbers for real.
+# bench-compare remeasures the classify hot path, the federation-overhead
+# transport pairs, and the live-runtime drain/ingest benchmarks and gates
+# them against the committed BENCH_runtime.json: any classify or runtime
+# variant whose flows/sec fell more than 15% below the baseline fails, so
+# does an overhead pair where telemetry federation costs more than 5%
+# throughput against the plain lifecycle interleaved with it in the same
+# run, and so does an ingest replay that allocates (cap 512 allocs per
+# whole-trace op — a single per-message alloc would be ~6,900). Run it on
+# classifier, index, queue, decoder, or observability-plane changes; refresh
+# the baseline with `make bench` when a speedup (or an accepted cost) moves
+# the numbers for real.
 bench-compare:
 	( $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=2s -benchmem . ; \
-	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ) \
+	  $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=3x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkIngestPath -benchtime=10x -benchmem . ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json
 
 # bench-compare-smoke is the verify/CI variant: a single iteration proves
-# the benchmarks still run and every baseline classify variant and
-# federation-overhead pair still exists, without judging single-shot
+# the benchmarks still run and every baseline classify, runtime, and
+# federation-overhead variant still exists, without judging single-shot
 # numbers.
 bench-compare-smoke:
 	( $(GO) test -run='^$$' -bench=BenchmarkClassifyHotPath -benchtime=1x -benchmem . ; \
-	  SPOOFSCOPE_OVERHEAD_ROUNDS=2 $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ) \
+	  SPOOFSCOPE_OVERHEAD_ROUNDS=2 $(GO) test -run='^$$' -bench=BenchmarkClusterTransport/overhead -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkRuntimeThroughput -benchtime=1x . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkIngestPath -benchtime=1x -benchmem . ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_runtime.json -smoke
 
 # fuzz gives the stream-framing paths a short adversarial workout beyond the

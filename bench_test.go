@@ -36,13 +36,13 @@ var (
 	benchErr  error
 )
 
-func benchEnvironment(b *testing.B) *experiments.Env {
-	b.Helper()
+func benchEnvironment(tb testing.TB) *experiments.Env {
+	tb.Helper()
 	benchOnce.Do(func() {
 		benchEnv, benchErr = experiments.NewEnv(experiments.DefaultOptions())
 	})
 	if benchErr != nil {
-		b.Fatal(benchErr)
+		tb.Fatal(benchErr)
 	}
 	return benchEnv
 }
@@ -230,12 +230,14 @@ func BenchmarkClassifyParallel(b *testing.B) {
 }
 
 // BenchmarkRuntimeThroughput measures the live runtime's consumption rate
-// over the full default-scale trace (≈440K flows): the sequential Step loop
-// against the batch-parallel consumer at several worker counts. The queue is
-// pre-filled outside the timer so only the drain is measured, and flows/sec
-// is the headline metric tracked in BENCH_runtime.json (`make bench`). On a
-// multi-core host the parallel variants scale with workers; under
-// GOMAXPROCS=1 they measure the batching overheads alone.
+// over the full default-scale trace (≈440K flows): the sequential batched
+// Run drain (the cmd/classify single-core path) against the batch-parallel
+// consumer at several worker counts. The queue is pre-filled outside the
+// timer so only the drain is measured, and flows/sec is the headline metric
+// tracked in BENCH_runtime.json (`make bench`), gated by the `runtime`
+// section of `make bench-compare`. On a multi-core host the parallel
+// variants scale with workers; under GOMAXPROCS=1 they measure the batching
+// overheads alone.
 //
 // The *-telemetry variants run the same drain with a live obs.Telemetry
 // attached, so the baseline records what instrumentation costs (the budget is
@@ -270,10 +272,8 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 			rt.Close()
 			b.StartTimer()
 			if workers == 0 {
-				for {
-					if _, _, ok := rt.Step(); !ok {
-						break
-					}
+				if err := rt.Run(nil, nil); err != nil {
+					b.Fatal(err)
 				}
 			} else if err := rt.RunParallel(nil, workers, nil); err != nil {
 				b.Fatal(err)
@@ -298,6 +298,133 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 	}
 	b.Run("sequential-telemetry", func(b *testing.B) { run(b, 0, true) })
 	b.Run("parallel-4-telemetry", func(b *testing.B) { run(b, 4, true) })
+}
+
+// encodeIngestStream frames the whole default-scale trace into one
+// in-memory IPFIX stream (concatenated messages), the wire image every
+// ingest-path measurement replays.
+func encodeIngestStream(tb testing.TB, env *experiments.Env) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw := ipfix.NewFileWriter(&buf, 1)
+	flows := env.Flows
+	for lo := 0; lo < len(flows); lo += 64 {
+		hi := lo + 64
+		if hi > len(flows) {
+			hi = len(flows)
+		}
+		if err := fw.Write(env.Scenario.Cfg.Start, flows[lo:hi]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startIngestDrain builds a live runtime with a bounded queue and starts its
+// sequential batched drain in the background, returning the runtime and the
+// drain's completion channel. The queue is small relative to the trace so
+// the producer genuinely exercises backpressure (IngestBatchWait parking)
+// rather than buffering the whole replay.
+func startIngestDrain(tb testing.TB, env *experiments.Env) (*core.Runtime, chan error) {
+	tb.Helper()
+	rt, err := core.NewRuntime(core.RuntimeConfig{
+		Pipeline: env.Pipeline,
+		Start:    env.Scenario.Cfg.Start, Bucket: env.Scenario.Cfg.Duration / 168,
+		Queue: core.QueueConfig{Capacity: 1 << 15},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(nil, nil) }()
+	return rt, done
+}
+
+// BenchmarkIngestPath measures the line-rate ingest path end to end: wire
+// bytes → zero-alloc IPFIX decode-into-batch (pooled grow-only scratch) →
+// batched queue hand-off (one wake per message, backpressure instead of
+// shedding) → batched drain → classify → aggregate. One iteration replays
+// the whole default-scale trace (≈440K flows) from a pre-encoded in-memory
+// stream through a single live runtime whose drain runs concurrently.
+// flows/sec is the headline (tracked in the `runtime` section of
+// BENCH_runtime.json and gated by `make bench-compare`); allocs/op must stay
+// 0 — the proof that nothing between the wire image and the aggregate
+// allocates per message or per flow in steady state.
+func BenchmarkIngestPath(b *testing.B) {
+	env := benchEnvironment(b)
+	stream := encodeIngestStream(b, env)
+	rt, done := startIngestDrain(b, env)
+	src := bytes.NewReader(stream)
+	fr := ipfix.NewFileReader(src)
+	deliver := func(batch []ipfix.Flow) bool { return rt.IngestBatchWait(batch) }
+	replay := func() {
+		src.Reset(stream)
+		fr.Reset(src)
+		if err := fr.ForEachBatch(deliver); err != nil {
+			b.Fatal(err)
+		}
+	}
+	replay() // warm: template state, scratch growth, aggregate working set
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.StopTimer()
+	rt.Close()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	want := uint64(len(env.Flows)) * uint64(b.N+1)
+	if got := rt.Stats().Processed; got != want {
+		b.Fatalf("processed %d flows, want %d (shedding on a backpressure path?)", got, want)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e9/float64(uint64(len(env.Flows))*uint64(b.N)), "ns/flow")
+	b.ReportMetric(float64(uint64(len(env.Flows))*uint64(b.N))/b.Elapsed().Seconds(), "flows/sec")
+}
+
+// TestIngestPathZeroAlloc pins the tentpole's alloc contract outside the
+// bench harness: after one warm replay, re-running the full trace through
+// decode → queue → drain → classify → aggregate allocates nothing. The
+// allocation counter is process-wide, so the concurrently running drain
+// goroutine's allocations (if any) are counted too.
+func TestIngestPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	if testing.Short() {
+		t.Skip("full-trace replay")
+	}
+	env := benchEnvironment(t)
+	stream := encodeIngestStream(t, env)
+	rt, done := startIngestDrain(t, env)
+	src := bytes.NewReader(stream)
+	fr := ipfix.NewFileReader(src)
+	replay := func() {
+		src.Reset(stream)
+		fr.Reset(src)
+		if err := fr.ForEachBatch(func(batch []ipfix.Flow) bool {
+			return rt.IngestBatchWait(batch)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay() // warm: template state, scratch growth, aggregate working set
+	avg := testing.AllocsPerRun(2, replay)
+	rt.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Budget: a handful of stray allocations per 440K-flow replay (timer
+	// wheels, rare map rehash) are tolerated; anything per-message or
+	// per-flow would show up as thousands.
+	if avg > 16 {
+		t.Fatalf("steady-state ingest replay allocates %.0f objects per trace (%.4f/flow), want ~0",
+			avg, avg/float64(len(env.Flows)))
+	}
 }
 
 // BenchmarkDepthAblation exercises the bounded-cone extension sweep.

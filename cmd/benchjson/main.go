@@ -17,7 +17,11 @@
 // any variant's flows/sec regressed by more than 15% (`make bench-compare`).
 // When the baseline has a clusterObs section, the federation-overhead gate
 // runs too: the fresh run's plain-vs-telemetry transport variants must show
-// less than 5% throughput overhead. -smoke relaxes both comparisons to a
+// less than 5% throughput overhead. When it has a runtime section, the
+// live-drain gate runs as well: every RuntimeThroughput variant and the
+// end-to-end IngestPath entry must reappear, lose no more than 15% flows/sec,
+// and the ingest entry must keep its effectively-zero allocs/op (cap 512 per
+// whole-trace replay). -smoke relaxes the comparisons to a
 // structural check — every baseline variant must still be produced by the
 // fresh run, but single-iteration numbers are reported without being judged
 // — which is what `make verify` and CI run.
@@ -108,6 +112,23 @@ type classifySummary struct {
 	AllocsPerOp float64 `json:"allocsPerOp"`
 }
 
+// runtimeSummary surfaces the live-runtime drain benchmarks as a first-class
+// section: one entry per BenchmarkRuntimeThroughput/<variant> (sequential,
+// parallel-N, and their -telemetry twins) plus the end-to-end ingest-path
+// entry (BenchmarkIngestPath: wire bytes -> decode-into-batch -> queue ->
+// drain -> classify -> aggregate, variant "ingest"). `benchjson -diff` gates
+// this section: a variant whose flows/sec fell more than 15% below baseline
+// fails, and the ingest variant's allocs/op must stay effectively zero — one
+// replay decodes thousands of messages, so even a single per-message
+// allocation lands orders of magnitude above ingestAllocTolerance.
+type runtimeSummary struct {
+	Benchmark   string  `json:"benchmark"`
+	Variant     string  `json:"variant"`
+	FlowsPerSec float64 `json:"flowsPerSec"`
+	NsPerFlow   float64 `json:"nsPerFlow,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
 type document struct {
 	GeneratedAt time.Time           `json:"generatedAt"`
 	GoVersion   string              `json:"goVersion"`
@@ -120,6 +141,7 @@ type document struct {
 	Cluster     []clusterSummary    `json:"cluster,omitempty"`
 	ClusterObs  []clusterObsSummary `json:"clusterObs,omitempty"`
 	Classify    []classifySummary   `json:"classify,omitempty"`
+	Runtime     []runtimeSummary    `json:"runtime,omitempty"`
 }
 
 func main() {
@@ -174,6 +196,9 @@ func main() {
 		if cl, ok := parseClassifyEntry(b); ok {
 			doc.Classify = append(doc.Classify, cl)
 		}
+		if rs, ok := parseRuntimeEntry(b); ok {
+			doc.Runtime = append(doc.Runtime, rs)
+		}
 	}
 	if *diffPath != "" {
 		if err := diffClassify(*diffPath, doc, *smoke); err != nil {
@@ -198,6 +223,14 @@ const regressionTolerance = 0.15
 // same box cancel out machine noise that an absolute comparison would not).
 const clusterObsTolerancePct = 5.0
 
+// ingestAllocTolerance caps BenchmarkIngestPath's allocs/op. One op replays
+// the whole default-scale trace (~6,900 IPFIX messages, ~440K flows), so a
+// single per-message allocation anywhere on the ingest path would report
+// thousands; the cap absorbs only fixed warm-up residue (goroutine stack
+// growth, rare map rehash) while still failing on any per-message or
+// per-flow allocation.
+const ingestAllocTolerance = 512
+
 // diffClassify compares the classify entries of a fresh run (doc, parsed
 // from stdin) against the committed baseline at path. Every baseline
 // variant must reappear in the fresh run (a vanished benchmark is a broken
@@ -211,6 +244,14 @@ const clusterObsTolerancePct = 5.0
 // the batch variants — beyond clusterObsTolerancePct fails. The overhead
 // is judged within the fresh run only; the baseline's own overhead is
 // printed for context.
+//
+// When the baseline carries a runtime section, the live-drain gate runs
+// last: every baseline variant (sequential/parallel-N drains and the
+// end-to-end ingest replay) must reappear, full mode fails a variant whose
+// flows/sec fell more than regressionTolerance, and the ingest variant
+// additionally fails past ingestAllocTolerance allocs per whole-trace
+// replay — the committed proof that the decode→queue→drain path stays
+// allocation-free in steady state.
 func diffClassify(path string, doc document, smoke bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -294,11 +335,100 @@ func diffClassify(path string, doc document, smoke bool) error {
 				mean, pooledN, clusterObsTolerancePct, status)
 		}
 	}
+	if len(base.Runtime) > 0 {
+		freshRt := make(map[string]runtimeSummary, len(doc.Runtime))
+		for _, r := range doc.Runtime {
+			freshRt[r.Variant] = r
+		}
+		for _, b := range base.Runtime {
+			r, ok := freshRt[b.Variant]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("runtime %s: missing from this run", b.Variant))
+				continue
+			}
+			delta := 0.0
+			if b.FlowsPerSec > 0 {
+				delta = (r.FlowsPerSec - b.FlowsPerSec) / b.FlowsPerSec
+			}
+			status := "ok"
+			if smoke {
+				status = "smoke"
+			} else if b.FlowsPerSec > 0 && r.FlowsPerSec < b.FlowsPerSec*(1-regressionTolerance) {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("runtime %s: %.0f -> %.0f flows/sec (%.1f%%)",
+					b.Variant, b.FlowsPerSec, r.FlowsPerSec, 100*delta))
+			}
+			if b.Variant == "ingest" && !smoke && r.AllocsPerOp > ingestAllocTolerance {
+				status = "ALLOCS"
+				failures = append(failures, fmt.Sprintf(
+					"runtime ingest: %.0f allocs per trace replay (cap %.0f) — the zero-alloc ingest contract is broken",
+					r.AllocsPerOp, float64(ingestAllocTolerance)))
+			}
+			fmt.Printf("runtime  %-20s %12.0f -> %12.0f flows/sec  %+6.1f%%  %s\n",
+				b.Variant, b.FlowsPerSec, r.FlowsPerSec, 100*delta, status)
+		}
+	}
 	if len(failures) > 0 {
-		return fmt.Errorf("benchmark gate failed (classify tolerance %.0f%%, federation overhead cap %.0f%%):\n  %s",
-			100*regressionTolerance, clusterObsTolerancePct, strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchmark gate failed (classify/runtime tolerance %.0f%%, federation overhead cap %.0f%%, ingest alloc cap %d):\n  %s",
+			100*regressionTolerance, clusterObsTolerancePct, ingestAllocTolerance, strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// parseRuntimeEntry lifts one BenchmarkRuntimeThroughput/<variant> or
+// BenchmarkIngestPath entry into a runtimeSummary. Throughput variant names
+// end in digits themselves (parallel-4), so the name is tried verbatim first
+// and only on a match failure is one trailing numeric -P GOMAXPROCS suffix
+// stripped and the parse retried, mirroring parseClusterEntry.
+func parseRuntimeEntry(b benchmark) (runtimeSummary, bool) {
+	name := b.Name
+	if name == "BenchmarkIngestPath" {
+		return runtimeEntry(b, "ingest"), true
+	}
+	if rest, ok := strings.CutPrefix(name, "BenchmarkIngestPath-"); ok {
+		if _, err := strconv.Atoi(rest); err == nil {
+			return runtimeEntry(b, "ingest"), true
+		}
+		return runtimeSummary{}, false
+	}
+	variant, ok := strings.CutPrefix(name, "BenchmarkRuntimeThroughput/")
+	if !ok {
+		return runtimeSummary{}, false
+	}
+	if runtimeVariantValid(variant) {
+		return runtimeEntry(b, variant), true
+	}
+	if i := strings.LastIndex(variant, "-"); i >= 0 {
+		if _, err := strconv.Atoi(variant[i+1:]); err == nil && runtimeVariantValid(variant[:i]) {
+			return runtimeEntry(b, variant[:i]), true
+		}
+	}
+	return runtimeSummary{}, false
+}
+
+// runtimeVariantValid recognizes the throughput benchmark's variant grammar:
+// sequential | parallel-<workers>, optionally suffixed -telemetry.
+func runtimeVariantValid(v string) bool {
+	v = strings.TrimSuffix(v, "-telemetry")
+	if v == "sequential" {
+		return true
+	}
+	w, ok := strings.CutPrefix(v, "parallel-")
+	if !ok {
+		return false
+	}
+	_, err := strconv.Atoi(w)
+	return err == nil
+}
+
+func runtimeEntry(b benchmark, variant string) runtimeSummary {
+	return runtimeSummary{
+		Benchmark:   b.Name,
+		Variant:     variant,
+		FlowsPerSec: b.Metrics["flows/sec"],
+		NsPerFlow:   b.Metrics["ns/flow"],
+		AllocsPerOp: b.Metrics["allocs/op"],
+	}
 }
 
 // parseClassifyEntry lifts one BenchmarkClassifyHotPath/<path>-<index> entry

@@ -115,10 +115,11 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- export(collector.Addr().String(), flows) }()
 
-	// Collector → queue handoff: every decoded flow goes straight into the
-	// runtime's bounded queue; the consumer drains it concurrently.
+	// Collector → queue handoff: each decoded message's flows go into the
+	// runtime's bounded queue as one batch (one consumer wake per message,
+	// zero per-flow allocations); the consumer drains it concurrently.
 	deadline := time.Now().Add(5 * time.Second)
-	malformed, err := collector.Serve(deadline, rt.IngestFunc())
+	malformed, err := collector.ServeBatch(deadline, rt.IngestBatchFunc())
 	if err != nil {
 		return err
 	}

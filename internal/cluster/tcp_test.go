@@ -283,8 +283,15 @@ func TestStandbyTakeover(t *testing.T) {
 	if st.FlowsRouted != uint64(len(flows)) || st.ReplayFlows != 0 || st.Orphaned != 0 {
 		t.Fatalf("cursor invariant broken across takeover: %+v", st)
 	}
-	if st.Workers != 2 {
-		t.Fatalf("workers = %d after takeover, want 2", st.Workers)
+	// The checkpoint only needs the workers that own shards, so it can
+	// complete before the second worker's redial lands; registration is
+	// asynchronous and gets a bounded window.
+	workerDeadline := time.Now().Add(10 * time.Second)
+	for p.coord.Stats().Workers != 2 {
+		if time.Now().After(workerDeadline) {
+			t.Fatalf("workers = %d after takeover, want 2", p.coord.Stats().Workers)
+		}
+		time.Sleep(time.Millisecond)
 	}
 	takeovers := 0
 	reclaims := false

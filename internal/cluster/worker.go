@@ -699,12 +699,11 @@ func (w *Worker) applyFlows(m flowsMsg) error {
 	s.cursor += uint64(len(m.flows))
 	w.flowsIn += uint64(len(m.flows))
 	w.mu.Unlock()
-	// IngestWait applies backpressure outside the lock: a full queue slows
-	// the link read loop, which slows the coordinator — never drops.
-	for _, f := range m.flows {
-		if !s.rt.IngestWait(f) {
-			return fmt.Errorf("cluster: shard %d runtime closed mid-ingest", m.shard)
-		}
+	// IngestBatchWait applies backpressure outside the lock: a full queue
+	// slows the link read loop, which slows the coordinator — never drops.
+	// The whole frame queues in one call (one consumer wake per frame).
+	if !s.rt.IngestBatchWait(m.flows) {
+		return fmt.Errorf("cluster: shard %d runtime closed mid-ingest", m.shard)
 	}
 	return nil
 }

@@ -78,12 +78,73 @@ type MemberStats struct {
 type DstStats struct {
 	Packets uint64
 	// Srcs is the exact distinct-source set, capped at fanInCap entries;
-	// SrcOverflow counts sources dropped beyond the cap.
+	// SrcOverflow counts sources dropped beyond the cap. Srcs stays nil
+	// until a second distinct source arrives — the first is inlined in
+	// src1 — so the common single-source destination allocates nothing.
+	// Read the set through SrcCount/HasSrc/EachSrc, not len/range on Srcs.
 	Srcs        map[netx.Addr]struct{}
 	SrcOverflow uint64
+
+	src1 netx.Addr
+	has1 bool
 }
 
 const fanInCap = 200000
+
+// addSrc records one source, enforcing the fanInCap exactly as the
+// map-only representation did (the cap dwarfs the inline slot, so the
+// inline stage can never interact with it).
+func (ds *DstStats) addSrc(a netx.Addr) {
+	if ds.Srcs == nil {
+		if !ds.has1 {
+			ds.src1, ds.has1 = a, true
+			return
+		}
+		if ds.src1 == a {
+			return
+		}
+		ds.Srcs = make(map[netx.Addr]struct{}, 2)
+		ds.Srcs[ds.src1] = struct{}{}
+	}
+	if len(ds.Srcs) < fanInCap {
+		ds.Srcs[a] = struct{}{}
+	} else if _, ok := ds.Srcs[a]; !ok {
+		ds.SrcOverflow++
+	}
+}
+
+// SrcCount returns the number of distinct recorded sources.
+func (ds *DstStats) SrcCount() int {
+	if ds.Srcs != nil {
+		return len(ds.Srcs)
+	}
+	if ds.has1 {
+		return 1
+	}
+	return 0
+}
+
+// HasSrc reports whether a is a recorded source.
+func (ds *DstStats) HasSrc(a netx.Addr) bool {
+	if ds.Srcs != nil {
+		_, ok := ds.Srcs[a]
+		return ok
+	}
+	return ds.has1 && ds.src1 == a
+}
+
+// EachSrc calls fn for every recorded source, in no particular order.
+func (ds *DstStats) EachSrc(fn func(netx.Addr)) {
+	if ds.Srcs != nil {
+		for a := range ds.Srcs {
+			fn(a)
+		}
+		return
+	}
+	if ds.has1 {
+		fn(ds.src1)
+	}
+}
 
 // PortKey identifies a port-mix bucket.
 type PortKey struct {
@@ -106,11 +167,13 @@ type Aggregator struct {
 	// Series is the per-bucket packet time series per class.
 	Series map[TrafficClass][]uint64
 
-	// SizeHist counts packets by packet-size bin (Bytes/Packets) per class.
-	SizeHist map[TrafficClass]map[int]uint64
+	// SizeHist counts packets by packet-size bin (Bytes/Packets) per class,
+	// in dense per-class pages (see porttab.go).
+	SizeHist *SizeTab
 
-	// Ports is the port mix (top-N extraction happens at render time).
-	Ports map[PortKey]uint64
+	// Ports is the port mix (top-N extraction happens at render time), in
+	// dense per-(class,proto,dir) pages (see porttab.go).
+	Ports *PortTab
 
 	// Slash8Src / Slash8Dst are the Figure 10 address-structure bins.
 	Slash8Src map[TrafficClass]*[256]uint64
@@ -135,6 +198,51 @@ type Aggregator struct {
 	// only ever mutated in place, never replaced.
 	lastPort   uint32
 	lastMember *MemberStats
+
+	// Per-class container caches for the Add hot path: each turns a
+	// map-by-class lookup per flow into an array index. They mirror the
+	// exported maps exactly and carry no state of their own — invalidate()
+	// drops them whenever a container may be replaced (Reset clears the
+	// top-level maps; Merge reassigns the receiver's Series slices).
+	seriesC  [numTrafficClasses][]uint64
+	src8C    [numTrafficClasses]*[256]uint64
+	dst8C    [numTrafficClasses]*[256]uint64
+	fanC     [numTrafficClasses]map[netx.Addr]*DstStats
+	fanKnown [numTrafficClasses]bool
+
+	// Bucket-index memo: flows arrive roughly time-ordered, so consecutive
+	// Adds usually land in the same series bucket and skip the division.
+	// start and bucket are immutable, so this never needs invalidation.
+	biLo, biHi time.Duration
+	biIdx      int
+}
+
+// invalidate drops the hot-path caches; the next Add refills them from the
+// maps. Called whenever a top-level container may have been replaced.
+func (a *Aggregator) invalidate() {
+	a.seriesC = [numTrafficClasses][]uint64{}
+	a.src8C = [numTrafficClasses]*[256]uint64{}
+	a.dst8C = [numTrafficClasses]*[256]uint64{}
+	a.fanC = [numTrafficClasses]map[netx.Addr]*DstStats{}
+	a.fanKnown = [numTrafficClasses]bool{}
+}
+
+// bucketIndex maps a flow start to its series bucket, memoizing the bucket
+// bounds so time-clustered flows skip the int64 division. Semantics match
+// the original inline computation exactly, including the truncation of
+// slightly-negative offsets toward bucket zero.
+func (a *Aggregator) bucketIndex(t time.Time) int {
+	d := t.Sub(a.start)
+	if d >= 0 && d >= a.biLo && d < a.biHi {
+		return a.biIdx
+	}
+	bi := int(d / a.bucket)
+	if d >= 0 {
+		a.biLo = time.Duration(bi) * a.bucket
+		a.biHi = a.biLo + a.bucket
+		a.biIdx = bi
+	}
+	return bi
 }
 
 // NewAggregator creates an aggregator bucketing time from start.
@@ -144,8 +252,8 @@ func NewAggregator(start time.Time, bucket time.Duration) *Aggregator {
 		bucket:        bucket,
 		members:       make(map[uint32]*MemberStats),
 		Series:        make(map[TrafficClass][]uint64),
-		SizeHist:      make(map[TrafficClass]map[int]uint64),
-		Ports:         make(map[PortKey]uint64),
+		SizeHist:      NewSizeTab(),
+		Ports:         NewPortTab(),
 		Slash8Src:     make(map[TrafficClass]*[256]uint64),
 		Slash8Dst:     make(map[TrafficClass]*[256]uint64),
 		FanIn:         make(map[TrafficClass]map[netx.Addr]*DstStats),
@@ -176,8 +284,8 @@ func (a *Aggregator) Reset() {
 	// clear() keeps the map buckets, which is where the reuse win lives.
 	clear(a.members)
 	clear(a.Series)
-	clear(a.SizeHist)
-	clear(a.Ports)
+	a.SizeHist.Reset()
+	a.Ports.Reset()
 	clear(a.Slash8Src)
 	clear(a.Slash8Dst)
 	for _, m := range a.FanIn {
@@ -188,29 +296,47 @@ func (a *Aggregator) Reset() {
 	a.TriggerSeries = a.TriggerSeries[:0]
 	a.ResponseSeries = a.ResponseSeries[:0]
 	a.lastPort, a.lastMember = 0, nil
+	// The cleared maps dropped their inner containers; stale cache pointers
+	// would keep accumulating into orphans.
+	a.invalidate()
+}
+
+// classesInto writes the aggregate classes a verdict contributes to into
+// out and returns how many. The fixed-size buffer keeps the per-flow hot
+// path free of the slice allocation classesOf paid for invalid verdicts.
+func classesInto(v Verdict, out *[3]TrafficClass) int {
+	switch v.Class {
+	case ClassBogon:
+		out[0] = TCBogon
+		return 1
+	case ClassUnrouted:
+		out[0] = TCUnrouted
+		return 1
+	case ClassValid:
+		out[0] = TCRegular
+		return 1
+	}
+	n := 0
+	if v.Invalid[ApproachNaive] {
+		out[n] = TCInvalidNaive
+		n++
+	}
+	if v.Invalid[ApproachCC] {
+		out[n] = TCInvalidCC
+		n++
+	}
+	if v.Invalid[ApproachFull] {
+		out[n] = TCInvalidFull
+		n++
+	}
+	return n
 }
 
 // classesOf maps a verdict to the aggregate classes it contributes to.
 func classesOf(v Verdict) []TrafficClass {
-	switch v.Class {
-	case ClassBogon:
-		return []TrafficClass{TCBogon}
-	case ClassUnrouted:
-		return []TrafficClass{TCUnrouted}
-	case ClassValid:
-		return []TrafficClass{TCRegular}
-	}
-	out := make([]TrafficClass, 0, 3)
-	if v.Invalid[ApproachNaive] {
-		out = append(out, TCInvalidNaive)
-	}
-	if v.Invalid[ApproachCC] {
-		out = append(out, TCInvalidCC)
-	}
-	if v.Invalid[ApproachFull] {
-		out = append(out, TCInvalidFull)
-	}
-	return out
+	var buf [3]TrafficClass
+	n := classesInto(v, &buf)
+	return append([]TrafficClass(nil), buf[:n]...)
 }
 
 // primaryClass is the class used for the single-class breakdowns (size
@@ -247,7 +373,8 @@ func (a *Aggregator) Add(f ipfix.Flow, v Verdict) {
 	}
 	ms.Total.add(&f)
 
-	for _, c := range classesOf(v) {
+	var cls [3]TrafficClass
+	for _, c := range cls[:classesInto(v, &cls)] {
 		a.Total[c].add(&f)
 		ms.ByClass[c].add(&f)
 	}
@@ -268,61 +395,73 @@ func (a *Aggregator) Add(f ipfix.Flow, v Verdict) {
 		}
 	}
 
-	// Time series.
-	bi := int(f.Start.Sub(a.start) / a.bucket)
+	// Time series. The per-class slice cache mirrors a.Series[pc] exactly:
+	// the map entry is rewritten only when the slice header changes (growth
+	// or first touch), so the exported map stays correct at every flow.
+	bi := a.bucketIndex(f.Start)
 	if bi >= 0 {
-		s := a.Series[pc]
-		for len(s) <= bi {
-			s = append(s, 0)
+		s := a.seriesC[pc]
+		if s == nil || len(s) <= bi {
+			if s == nil {
+				s = a.Series[pc]
+			}
+			for len(s) <= bi {
+				s = append(s, 0)
+			}
+			a.Series[pc] = s
+			a.seriesC[pc] = s
 		}
 		s[bi] += f.Packets
-		a.Series[pc] = s
 	}
 
 	// Packet sizes.
 	if f.Packets > 0 {
-		size := int(f.Bytes / f.Packets)
-		h := a.SizeHist[pc]
-		if h == nil {
-			h = make(map[int]uint64)
-			a.SizeHist[pc] = h
-		}
-		h[size] += f.Packets
+		a.SizeHist.Add(pc, int(f.Bytes/f.Packets), f.Packets)
 	}
 
 	// Port mix.
 	if f.Protocol == ipfix.ProtoTCP || f.Protocol == ipfix.ProtoUDP {
-		a.Ports[PortKey{pc, f.Protocol, 0, f.DstPort}] += f.Packets
-		a.Ports[PortKey{pc, f.Protocol, 1, f.SrcPort}] += f.Packets
+		a.Ports.Add(pc, f.Protocol, 0, f.DstPort, f.Packets)
+		a.Ports.Add(pc, f.Protocol, 1, f.SrcPort, f.Packets)
 	}
 
 	// Address structure.
-	src8 := a.Slash8Src[pc]
+	src8 := a.src8C[pc]
 	if src8 == nil {
-		src8 = &[256]uint64{}
-		a.Slash8Src[pc] = src8
+		src8 = a.Slash8Src[pc]
+		if src8 == nil {
+			src8 = &[256]uint64{}
+			a.Slash8Src[pc] = src8
+		}
+		a.src8C[pc] = src8
 	}
 	src8[f.SrcAddr.Slash8()] += f.Packets
-	dst8 := a.Slash8Dst[pc]
+	dst8 := a.dst8C[pc]
 	if dst8 == nil {
-		dst8 = &[256]uint64{}
-		a.Slash8Dst[pc] = dst8
+		dst8 = a.Slash8Dst[pc]
+		if dst8 == nil {
+			dst8 = &[256]uint64{}
+			a.Slash8Dst[pc] = dst8
+		}
+		a.dst8C[pc] = dst8
 	}
 	dst8[f.DstAddr.Slash8()] += f.Packets
 
 	// Destination fan-in for spoofed classes.
-	if m, tracked := a.FanIn[pc]; tracked {
+	m := a.fanC[pc]
+	if m == nil && !a.fanKnown[pc] {
+		m = a.FanIn[pc]
+		a.fanC[pc] = m
+		a.fanKnown[pc] = true
+	}
+	if m != nil {
 		ds := m[f.DstAddr]
 		if ds == nil {
-			ds = &DstStats{Srcs: make(map[netx.Addr]struct{})}
+			ds = &DstStats{}
 			m[f.DstAddr] = ds
 		}
 		ds.Packets += f.Packets
-		if len(ds.Srcs) < fanInCap {
-			ds.Srcs[f.SrcAddr] = struct{}{}
-		} else if _, ok := ds.Srcs[f.SrcAddr]; !ok {
-			ds.SrcOverflow++
-		}
+		ds.addSrc(f.SrcAddr)
 	}
 
 	// NTP amplification bookkeeping.
@@ -347,6 +486,45 @@ func (a *Aggregator) Add(f ipfix.Flow, v Verdict) {
 		}
 	}
 }
+
+// AddBatch accumulates a batch of classified flows. It is exactly an
+// in-order loop over Add — arrival order is preserved so the cap-sensitive
+// structures (fan-in source sets, invalid-origin maps) and the canonical
+// checkpoint encoding match the per-flow path byte for byte — and exists so
+// batch consumers amortize the call overhead and keep the per-class caches
+// hot across a batch.
+func (a *Aggregator) AddBatch(flows []ipfix.Flow, verdicts []Verdict) {
+	if len(flows) != len(verdicts) {
+		panic("core: AddBatch flows/verdicts length mismatch")
+	}
+	var sink uint64
+	for i := range flows {
+		// Software prefetch: touch the next flow's two port counters before
+		// processing this one. The dense port pages span ~512KB of counter
+		// blocks each, so the counter loads are the dominant cache misses in
+		// Add; issuing them a flow ahead overlaps the miss latency with
+		// useful work. The loads are plain reads folded into a sink the
+		// compiler cannot eliminate.
+		if i+1 < len(flows) {
+			nf := &flows[i+1]
+			if nf.Protocol == ipfix.ProtoTCP || nf.Protocol == ipfix.ProtoUDP {
+				pc := primaryClass(verdicts[i+1])
+				if p := a.Ports.page(pc, nf.Protocol, 0, false); p != nil {
+					sink += p.at(nf.DstPort)
+				}
+				if p := a.Ports.page(pc, nf.Protocol, 1, false); p != nil {
+					sink += p.at(nf.SrcPort)
+				}
+			}
+		}
+		a.Add(flows[i], verdicts[i])
+	}
+	prefetchSink = sink
+}
+
+// prefetchSink keeps AddBatch's prefetch loads observable so the compiler
+// does not discard them.
+var prefetchSink uint64
 
 func extendSeries(s []Counter, bi int, f *ipfix.Flow) []Counter {
 	if bi < 0 {

@@ -138,7 +138,7 @@ func TestAggregatorFanInOverflow(t *testing.T) {
 		a.Add(f, verdictOf(ClassUnrouted, false, false, false))
 	}
 	ds := a.FanIn[TCUnrouted][netx.MustParseAddr(dst)]
-	if ds == nil || ds.Packets != 10 || len(ds.Srcs) != 10 {
+	if ds == nil || ds.Packets != 10 || ds.SrcCount() != 10 {
 		t.Fatalf("fan-in = %+v", ds)
 	}
 }

@@ -248,49 +248,29 @@ func EncodeCheckpoint(out io.Writer, cp *Checkpoint) error {
 		}
 	}
 
-	// Size histograms per class, sizes sorted.
-	w.u32(uint32(len(a.SizeHist)))
-	for _, c := range sortedClasses(a.SizeHist) {
-		h := a.SizeHist[c]
-		sizes := make([]int, 0, len(h))
-		for s := range h {
-			sizes = append(sizes, s)
-		}
-		sort.Ints(sizes)
+	// Size histograms per class, sizes sorted. SizeTab iterates classes and
+	// sizes in ascending order — the order the map-backed encoding sorted
+	// into — so the bytes are unchanged.
+	w.u32(uint32(a.SizeHist.Classes()))
+	for _, c := range a.SizeHist.classList() {
 		w.u32(uint32(c))
-		w.u32(uint32(len(sizes)))
-		for _, s := range sizes {
+		w.u32(uint32(a.SizeHist.ClassLen(c)))
+		a.SizeHist.RangeClass(c, func(s int, n uint64) {
 			w.i64(int64(s))
-			w.u64(h[s])
-		}
+			w.u64(n)
+		})
 	}
 
-	// Port mix, sorted by (class, proto, dir, port).
-	keys := make([]PortKey, 0, len(a.Ports))
-	for k := range a.Ports {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		ki, kj := keys[i], keys[j]
-		if ki.Class != kj.Class {
-			return ki.Class < kj.Class
-		}
-		if ki.Proto != kj.Proto {
-			return ki.Proto < kj.Proto
-		}
-		if ki.Dir != kj.Dir {
-			return ki.Dir < kj.Dir
-		}
-		return ki.Port < kj.Port
-	})
-	w.u32(uint32(len(keys)))
-	for _, k := range keys {
+	// Port mix, sorted by (class, proto, dir, port) — PortTab's natural
+	// iteration order.
+	w.u32(uint32(a.Ports.Len()))
+	a.Ports.Range(func(k PortKey, v uint64) {
 		w.u32(uint32(k.Class))
 		w.u8(k.Proto)
 		w.u8(k.Dir)
 		w.u16(k.Port)
-		w.u64(a.Ports[k])
-	}
+		w.u64(v)
+	})
 
 	// /8 address-structure bins.
 	writeSlash8 := func(m map[TrafficClass]*[256]uint64) {
@@ -316,9 +296,14 @@ func EncodeCheckpoint(out io.Writer, cp *Checkpoint) error {
 			w.u32(uint32(dst))
 			w.u64(ds.Packets)
 			w.u64(ds.SrcOverflow)
-			w.u32(uint32(len(ds.Srcs)))
-			for _, src := range sortedAddrs(ds.Srcs) {
-				w.u32(uint32(src))
+			w.u32(uint32(ds.SrcCount()))
+			if ds.Srcs != nil {
+				for _, src := range sortedAddrs(ds.Srcs) {
+					w.u32(uint32(src))
+				}
+			} else {
+				// Inline single source (sorted order is trivial).
+				ds.EachSrc(func(src netx.Addr) { w.u32(uint32(src)) })
 			}
 		}
 	}
@@ -426,13 +411,12 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 	nHists := r.count("size histogram")
 	for i := 0; i < nHists && r.err == nil; i++ {
 		c := TrafficClass(r.u32())
+		a.SizeHist.Touch(c)
 		n := r.count("size bin")
-		h := make(map[int]uint64, preallocCap(n))
 		for j := 0; j < n && r.err == nil; j++ {
 			size := int(r.i64())
-			h[size] = r.u64()
+			a.SizeHist.Set(c, size, r.u64())
 		}
-		a.SizeHist[c] = h
 	}
 
 	nPorts := r.count("port-mix entry")
@@ -443,7 +427,7 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 			Dir:   r.u8(),
 			Port:  r.u16(),
 		}
-		a.Ports[k] = r.u64()
+		a.Ports.Set(k, r.u64())
 	}
 
 	readSlash8 := func(m map[TrafficClass]*[256]uint64) {
@@ -469,9 +453,15 @@ func DecodeCheckpoint(in io.Reader) (*Checkpoint, error) {
 			dst := netx.Addr(r.u32())
 			ds := &DstStats{Packets: r.u64(), SrcOverflow: r.u64()}
 			nSrc := r.count("fan-in source")
-			ds.Srcs = make(map[netx.Addr]struct{}, preallocCap(nSrc))
-			for k := 0; k < nSrc && r.err == nil; k++ {
-				ds.Srcs[netx.Addr(r.u32())] = struct{}{}
+			if nSrc == 1 {
+				// Match the fresh-aggregator representation: a single
+				// source stays inline, no map.
+				ds.src1, ds.has1 = netx.Addr(r.u32()), true
+			} else if nSrc > 0 {
+				ds.Srcs = make(map[netx.Addr]struct{}, preallocCap(nSrc))
+				for k := 0; k < nSrc && r.err == nil; k++ {
+					ds.Srcs[netx.Addr(r.u32())] = struct{}{}
+				}
 			}
 			m[dst] = ds
 		}

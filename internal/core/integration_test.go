@@ -236,11 +236,11 @@ func TestEndToEndAggregator(t *testing.T) {
 	// Size histograms: spoofed classes skew small, regular has the big
 	// mode.
 	bigRegular := uint64(0)
-	for size, n := range agg.SizeHist[TCRegular] {
+	agg.SizeHist.RangeClass(TCRegular, func(size int, n uint64) {
 		if size > 1000 {
 			bigRegular += n
 		}
-	}
+	})
 	if bigRegular == 0 {
 		t.Fatal("regular size histogram lost the data mode")
 	}
@@ -248,12 +248,12 @@ func TestEndToEndAggregator(t *testing.T) {
 	// but carries the designed §4.4 false positives (regular-shaped).
 	for c, minSmall := range map[TrafficClass]float64{TCUnrouted: 0.8, TCInvalidFull: 0.65} {
 		small, all := uint64(0), uint64(0)
-		for size, n := range agg.SizeHist[c] {
+		agg.SizeHist.RangeClass(c, func(size int, n uint64) {
 			all += n
 			if size <= 90 {
 				small += n
 			}
-		}
+		})
 		if all > 0 && float64(small)/float64(all) < minSmall {
 			t.Fatalf("%v packets not small: %d/%d", c, small, all)
 		}

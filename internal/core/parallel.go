@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"spoofscope/internal/bgp"
@@ -15,6 +18,9 @@ import (
 // reuse other afterwards (the parallel consumers keep one private
 // aggregator per worker across merge barriers this way).
 func (a *Aggregator) Merge(other *Aggregator) {
+	// Merge reassigns the receiver's Series slices (and may create inner
+	// containers); the hot-path caches must not outlive those headers.
+	a.invalidate()
 	a.GrandTotal.Flows += other.GrandTotal.Flows
 	a.GrandTotal.Packets += other.GrandTotal.Packets
 	a.GrandTotal.Bytes += other.GrandTotal.Bytes
@@ -56,19 +62,8 @@ func (a *Aggregator) Merge(other *Aggregator) {
 		}
 		a.Series[c] = s
 	}
-	for c, oh := range other.SizeHist {
-		h := a.SizeHist[c]
-		if h == nil {
-			h = make(map[int]uint64, len(oh))
-			a.SizeHist[c] = h
-		}
-		for size, n := range oh {
-			h[size] += n
-		}
-	}
-	for k, v := range other.Ports {
-		a.Ports[k] += v
-	}
+	a.SizeHist.MergeFrom(other.SizeHist)
+	a.Ports.MergeFrom(other.Ports)
 	mergeSlash8 := func(dst map[TrafficClass]*[256]uint64, src map[TrafficClass]*[256]uint64) {
 		for c, ob := range src {
 			b := dst[c]
@@ -92,18 +87,12 @@ func (a *Aggregator) Merge(other *Aggregator) {
 		for dst, ods := range om {
 			ds := m[dst]
 			if ds == nil {
-				ds = &DstStats{Srcs: make(map[netx.Addr]struct{}, len(ods.Srcs))}
+				ds = &DstStats{}
 				m[dst] = ds
 			}
 			ds.Packets += ods.Packets
 			ds.SrcOverflow += ods.SrcOverflow
-			for src := range ods.Srcs {
-				if len(ds.Srcs) < fanInCap {
-					ds.Srcs[src] = struct{}{}
-				} else if _, ok := ds.Srcs[src]; !ok {
-					ds.SrcOverflow++
-				}
-			}
+			ods.EachSrc(ds.addSrc)
 		}
 	}
 	mergePairs := func(dst, src map[netx.Addr]map[netx.Addr]uint64) {
@@ -169,6 +158,8 @@ func (p *Pipeline) ClassifyParallel(flows []ipfix.Flow, workers int, newAgg func
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("worker", strconv.Itoa(w), "stage", "classify")))
 			agg := newAgg()
 			// One stack-resident verdict buffer per worker, reused across
 			// batches: the classification loop itself allocates nothing.

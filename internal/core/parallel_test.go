@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"spoofscope/internal/netx"
 )
 
 // TestClassifyParallelMatchesSerial verifies that sharded classification
@@ -63,9 +65,14 @@ func compareAggregates(t *testing.T, a, b *Aggregator, workers int) {
 		for dst, ds := range a.FanIn[c] {
 			other := b.FanIn[c][dst]
 			if other == nil || ds.Packets != other.Packets ||
-				len(ds.Srcs) != len(other.Srcs) || ds.SrcOverflow != other.SrcOverflow {
+				ds.SrcCount() != other.SrcCount() || ds.SrcOverflow != other.SrcOverflow {
 				t.Fatalf("workers=%d: fan-in %v/%v differs", workers, c, dst)
 			}
+			ds.EachSrc(func(src netx.Addr) {
+				if !other.HasSrc(src) {
+					t.Fatalf("workers=%d: fan-in %v/%v missing src %v", workers, c, dst, src)
+				}
+			})
 		}
 	}
 	if !reflect.DeepEqual(a.TriggerPairs, b.TriggerPairs) {

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// This file holds the dense tally containers behind the Aggregator's port
+// mix and packet-size histograms. Both used to be Go maps keyed per flow on
+// the Add hot path; with ~uniform ephemeral ports the port map grows to
+// hundreds of thousands of entries and every flow pays two hashed,
+// cache-missing map operations. A dense page — block-allocated counter
+// arrays plus a presence bitmap — turns each into L2-resident indexing while
+// preserving the map's exact semantics: key presence is tracked separately
+// from the count (a zero-packet add still records the key, as a map `+=`
+// would), so the canonical checkpoint encoding is byte-identical to the
+// map-backed layout's.
+
+// portPage is the dense tally for one (class, proto, dir): 65536 counters
+// plus a 65536-bit presence bitmap. The counters live in 256-port blocks
+// allocated on first touch rather than one flat [1<<16]uint64: a fresh page
+// is ~10KB instead of 512KB, so the cluster paths that decode checkpoints
+// into fresh tables (shard assign, coordinator merge) allocate in
+// proportion to the ports actually recorded. That also keeps the race
+// detector's shadow-memory cost per allocation small — a flat half-MB
+// zeroed array per page made `-race` cluster runs pathologically slow.
+type portPage struct {
+	blk  [1 << 8]*[1 << 8]uint64
+	seen [1 << 10]uint64
+	n    int // set bits in seen
+}
+
+// slot returns the counter cell for port, allocating its block on first use.
+func (p *portPage) slot(port uint16) *uint64 {
+	blk := p.blk[port>>8]
+	if blk == nil {
+		blk = new([1 << 8]uint64)
+		p.blk[port>>8] = blk
+	}
+	return &blk[port&0xff]
+}
+
+// at reads the counter for port; unrecorded ports read zero.
+func (p *portPage) at(port uint16) uint64 {
+	if blk := p.blk[port>>8]; blk != nil {
+		return blk[port&0xff]
+	}
+	return 0
+}
+
+func (p *portPage) add(port uint16, pkts uint64) {
+	*p.slot(port) += pkts
+	w, b := uint32(port)>>6, uint64(1)<<(port&63)
+	if p.seen[w]&b == 0 {
+		p.seen[w] |= b
+		p.n++
+	}
+}
+
+func (p *portPage) has(port uint16) bool {
+	return p.seen[port>>6]&(1<<(port&63)) != 0
+}
+
+// reset zeroes only the touched counters (via the presence bitmap), so a
+// reused private aggregator pays O(touched), not O(65536), per barrier.
+// Blocks stay allocated for the next lap.
+func (p *portPage) reset() {
+	for w, bits := range p.seen {
+		for bits != 0 {
+			b := bits & (-bits)
+			port := uint16(w<<6 | trailingZeros(b))
+			p.blk[port>>8][port&0xff] = 0
+			bits &^= b
+		}
+		p.seen[w] = 0
+	}
+	p.n = 0
+}
+
+func trailingZeros(b uint64) int { return bits.TrailingZeros64(b) }
+
+// portPageKey orders pages the way the checkpoint codec sorts PortKeys:
+// (class, proto, dir) ascending.
+type portPageKey struct {
+	class TrafficClass
+	proto uint8
+	dir   uint8
+}
+
+// PortTab is the port-mix tally: one dense page per (class, proto, dir).
+// The TCP/UDP pages — the only protocols Add records — sit in a
+// direct-indexed array; pages for any other protocol (reachable only by
+// decoding a checkpoint that carries them) live in a spill map.
+type PortTab struct {
+	fast  [numTrafficClasses][2][2]*portPage
+	spill map[portPageKey]*portPage
+}
+
+// NewPortTab builds an empty table.
+func NewPortTab() *PortTab { return &PortTab{} }
+
+// protoIdx maps the two hot protocols onto the fast array; -1 spills.
+func protoIdx(proto uint8) int {
+	switch proto {
+	case 6: // ipfix.ProtoTCP
+		return 0
+	case 17: // ipfix.ProtoUDP
+		return 1
+	}
+	return -1
+}
+
+// page returns the page for (class, proto, dir), creating it if asked.
+func (t *PortTab) page(c TrafficClass, proto, dir uint8, create bool) *portPage {
+	if pi := protoIdx(proto); pi >= 0 && c >= 0 && c < numTrafficClasses {
+		p := t.fast[c][pi][dir&1]
+		if p == nil && create {
+			p = &portPage{}
+			t.fast[c][pi][dir&1] = p
+		}
+		return p
+	}
+	k := portPageKey{c, proto, dir}
+	p := t.spill[k]
+	if p == nil && create {
+		if t.spill == nil {
+			t.spill = make(map[portPageKey]*portPage)
+		}
+		p = &portPage{}
+		t.spill[k] = p
+	}
+	return p
+}
+
+// Add accumulates pkts for one key. This is the hot path: two array
+// indexes and a bitmap update, no hashing.
+func (t *PortTab) Add(c TrafficClass, proto, dir uint8, port uint16, pkts uint64) {
+	t.page(c, proto, dir, true).add(port, pkts)
+}
+
+// Get returns the tally for k and whether the key was ever recorded —
+// the comma-ok contract of the map this table replaced.
+func (t *PortTab) Get(k PortKey) (uint64, bool) {
+	p := t.page(k.Class, k.Proto, k.Dir, false)
+	if p == nil || !p.has(k.Port) {
+		return 0, false
+	}
+	return p.at(k.Port), true
+}
+
+// Len counts recorded keys.
+func (t *PortTab) Len() int {
+	n := 0
+	t.pages(func(_ portPageKey, p *portPage) { n += p.n })
+	return n
+}
+
+// pages visits every page in (class, proto, dir) order — the checkpoint
+// codec's key order.
+func (t *PortTab) pages(fn func(portPageKey, *portPage)) {
+	keys := make([]portPageKey, 0, 8)
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		for pi, proto := range [2]uint8{6, 17} {
+			for dir := uint8(0); dir < 2; dir++ {
+				if t.fast[c][pi][dir] != nil {
+					keys = append(keys, portPageKey{c, proto, dir})
+				}
+			}
+		}
+	}
+	for k := range t.spill {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.class != kj.class {
+			return ki.class < kj.class
+		}
+		if ki.proto != kj.proto {
+			return ki.proto < kj.proto
+		}
+		return ki.dir < kj.dir
+	})
+	for _, k := range keys {
+		fn(k, t.page(k.class, k.proto, k.dir, false))
+	}
+}
+
+// Range visits every recorded (key, tally) in (class, proto, dir, port)
+// order. Safe to mutate other state during the walk; not safe to Add.
+func (t *PortTab) Range(fn func(PortKey, uint64)) {
+	t.pages(func(k portPageKey, p *portPage) {
+		for w, bits := range p.seen {
+			for bits != 0 {
+				b := bits & (-bits)
+				port := uint16(w<<6 | trailingZeros(b))
+				fn(PortKey{k.class, k.proto, k.dir, port}, p.at(port))
+				bits &^= b
+			}
+		}
+	})
+}
+
+// Set stores an exact tally for k (map-assign semantics; checkpoint decode).
+func (t *PortTab) Set(k PortKey, v uint64) {
+	p := t.page(k.Class, k.Proto, k.Dir, true)
+	*p.slot(k.Port) = v
+	w, b := uint32(k.Port)>>6, uint64(1)<<(k.Port&63)
+	if p.seen[w]&b == 0 {
+		p.seen[w] |= b
+		p.n++
+	}
+}
+
+// MergeFrom folds other into t without adopting its pages.
+func (t *PortTab) MergeFrom(other *PortTab) {
+	if other == nil {
+		return
+	}
+	other.pages(func(k portPageKey, op *portPage) {
+		p := t.page(k.class, k.proto, k.dir, true)
+		for w, bits := range op.seen {
+			for bits != 0 {
+				b := bits & (-bits)
+				port := uint16(w<<6 | trailingZeros(b))
+				p.add(port, op.at(port))
+				bits &^= b
+			}
+		}
+	})
+}
+
+// Reset zeroes every recorded tally in place, keeping the pages allocated
+// for reuse. Cost is proportional to the touched entries.
+func (t *PortTab) Reset() {
+	t.pages(func(_ portPageKey, p *portPage) { p.reset() })
+}
+
+// sizePage is the dense packet-size histogram for one class: sizes below
+// sizeDense live in the flat array, anything else (jumbo or degenerate
+// Bytes/Packets quotients) spills to an exact map.
+const sizeDense = 1 << 12
+
+type sizePage struct {
+	// present mirrors map key-presence: the class existed in the old
+	// map[TrafficClass] iff present. Reset keeps the page allocated for
+	// reuse but marks it absent, exactly like clear() on the map did.
+	present bool
+	cnt     [sizeDense]uint64
+	seen    [sizeDense / 64]uint64
+	n       int
+	spill   map[int]uint64
+}
+
+func (p *sizePage) add(size int, pkts uint64) {
+	if size >= 0 && size < sizeDense {
+		p.cnt[size] += pkts
+		w, b := uint32(size)>>6, uint64(1)<<(size&63)
+		if p.seen[w]&b == 0 {
+			p.seen[w] |= b
+			p.n++
+		}
+		return
+	}
+	if p.spill == nil {
+		p.spill = make(map[int]uint64)
+	}
+	p.spill[size] += pkts
+}
+
+func (p *sizePage) len() int { return p.n + len(p.spill) }
+
+// SizeTab is the per-class packet-size histogram, replacing
+// map[TrafficClass]map[int]uint64.
+type SizeTab struct {
+	pages [numTrafficClasses]*sizePage
+	// spill holds classes outside the enum range (reachable only from a
+	// hand-crafted checkpoint; Add never produces them).
+	spill map[TrafficClass]*sizePage
+}
+
+// NewSizeTab builds an empty histogram set.
+func NewSizeTab() *SizeTab { return &SizeTab{} }
+
+func (t *SizeTab) page(c TrafficClass, create bool) *sizePage {
+	var p *sizePage
+	if c >= 0 && c < numTrafficClasses {
+		p = t.pages[c]
+		if p == nil && create {
+			p = &sizePage{}
+			t.pages[c] = p
+		}
+	} else {
+		p = t.spill[c]
+		if p == nil && create {
+			if t.spill == nil {
+				t.spill = make(map[TrafficClass]*sizePage)
+			}
+			p = &sizePage{}
+			t.spill[c] = p
+		}
+	}
+	if p != nil {
+		if create {
+			p.present = true
+		} else if !p.present {
+			return nil
+		}
+	}
+	return p
+}
+
+// Add accumulates pkts into class c's histogram at size.
+func (t *SizeTab) Add(c TrafficClass, size int, pkts uint64) {
+	t.page(c, true).add(size, pkts)
+}
+
+// Classes counts classes with a histogram.
+func (t *SizeTab) Classes() int { return len(t.classList()) }
+
+// classList returns the recorded classes in ascending order.
+func (t *SizeTab) classList() []TrafficClass {
+	out := make([]TrafficClass, 0, numTrafficClasses)
+	for c := TrafficClass(0); c < numTrafficClasses; c++ {
+		if p := t.pages[c]; p != nil && p.present {
+			out = append(out, c)
+		}
+	}
+	for c, p := range t.spill {
+		if p.present {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClassLen counts recorded sizes for one class.
+func (t *SizeTab) ClassLen(c TrafficClass) int {
+	p := t.page(c, false)
+	if p == nil {
+		return 0
+	}
+	return p.len()
+}
+
+// RangeClass visits one class's (size, packets) entries in ascending size
+// order — the checkpoint codec's order.
+func (t *SizeTab) RangeClass(c TrafficClass, fn func(int, uint64)) {
+	p := t.page(c, false)
+	if p == nil {
+		return
+	}
+	if len(p.spill) == 0 {
+		for w, bits := range p.seen {
+			for bits != 0 {
+				b := bits & (-bits)
+				size := w<<6 | trailingZeros(b)
+				fn(size, p.cnt[size])
+				bits &^= b
+			}
+		}
+		return
+	}
+	// Spilled sizes can sort anywhere relative to the dense range (negative
+	// quotients wrap below zero), so collect and sort the union exactly as
+	// the map encoding did.
+	sizes := make([]int, 0, p.len())
+	for w, bits := range p.seen {
+		for bits != 0 {
+			b := bits & (-bits)
+			sizes = append(sizes, w<<6|trailingZeros(b))
+			bits &^= b
+		}
+	}
+	for s := range p.spill {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		if s >= 0 && s < sizeDense && p.has(s) {
+			fn(s, p.cnt[s])
+		} else {
+			fn(s, p.spill[s])
+		}
+	}
+}
+
+func (p *sizePage) has(size int) bool {
+	return size >= 0 && size < sizeDense && p.seen[size>>6]&(1<<(uint(size)&63)) != 0
+}
+
+// Get returns class c's tally at size with map comma-ok semantics.
+func (t *SizeTab) Get(c TrafficClass, size int) (uint64, bool) {
+	p := t.page(c, false)
+	if p == nil {
+		return 0, false
+	}
+	if p.has(size) {
+		return p.cnt[size], true
+	}
+	v, ok := p.spill[size]
+	return v, ok
+}
+
+// Touch marks class c present without recording any size (a decoded class
+// may carry zero bins, which the map layout kept as a present empty map).
+func (t *SizeTab) Touch(c TrafficClass) { t.page(c, true) }
+
+// Set stores an exact tally (map-assign semantics; checkpoint decode).
+func (t *SizeTab) Set(c TrafficClass, size int, v uint64) {
+	p := t.page(c, true)
+	if size >= 0 && size < sizeDense {
+		p.cnt[size] = v
+		w, b := uint32(size)>>6, uint64(1)<<(size&63)
+		if p.seen[w]&b == 0 {
+			p.seen[w] |= b
+			p.n++
+		}
+		return
+	}
+	if p.spill == nil {
+		p.spill = make(map[int]uint64)
+	}
+	p.spill[size] = v
+}
+
+// MergeFrom folds other into t without adopting its pages.
+func (t *SizeTab) MergeFrom(other *SizeTab) {
+	if other == nil {
+		return
+	}
+	for _, c := range other.classList() {
+		op := other.page(c, false)
+		p := t.page(c, true)
+		for w, bits := range op.seen {
+			for bits != 0 {
+				b := bits & (-bits)
+				size := w<<6 | trailingZeros(b)
+				p.add(size, op.cnt[size])
+				bits &^= b
+			}
+		}
+		for s, v := range op.spill {
+			p.add(s, v)
+		}
+	}
+}
+
+// Reset zeroes every recorded tally in place and marks every class absent,
+// keeping pages allocated for reuse.
+func (t *SizeTab) Reset() {
+	for _, c := range t.classList() {
+		p := t.page(c, false)
+		for w, bits := range p.seen {
+			for bits != 0 {
+				b := bits & (-bits)
+				p.cnt[w<<6|trailingZeros(b)] = 0
+				bits &^= b
+			}
+			p.seen[w] = 0
+		}
+		p.n = 0
+		clear(p.spill)
+		p.present = false
+	}
+}

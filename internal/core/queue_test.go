@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -243,6 +245,191 @@ func TestQueueTryPopBatchNonBlocking(t *testing.T) {
 	}
 	if buf[0].SrcPort != 1 || buf[1].SrcPort != 2 {
 		t.Fatal("TryPopBatch broke FIFO order")
+	}
+}
+
+// TestQueueRingWraparound laps a tiny ring many times so every slot is
+// reused across several sequence generations — the Vyukov seq protocol must
+// keep FIFO order and never lose or duplicate a flow across the wrap.
+func TestQueueRingWraparound(t *testing.T) {
+	// Logical capacity 5 over 8 physical slots: the logical bound and the
+	// power-of-two mask disagree, so slot reuse crosses the seam every lap.
+	q := NewIngestQueue(QueueConfig{Capacity: 5, HighWatermark: 5, LowWatermark: 5})
+	buf := make([]ipfix.Flow, 3)
+	next := 0
+	pushed := 0
+	for lap := 0; lap < 40; lap++ {
+		for i := 0; i < 5; i++ {
+			if !q.Push(queueFlow(pushed)) {
+				t.Fatalf("lap %d: push %d refused with room left", lap, pushed)
+			}
+			pushed++
+		}
+		for q.Depth() > 0 {
+			n := q.TryPopBatch(buf)
+			if n == 0 {
+				t.Fatalf("lap %d: TryPopBatch returned 0 with depth %d", lap, q.Depth())
+			}
+			for i := 0; i < n; i++ {
+				if buf[i].SrcPort != uint16(next) {
+					t.Fatalf("lap %d: flow %d out of order: got %d", lap, next, buf[i].SrcPort)
+				}
+				next++
+			}
+		}
+	}
+	if next != pushed {
+		t.Fatalf("drained %d flows, pushed %d", next, pushed)
+	}
+	if st := q.Stats(); st.Queued != uint64(pushed) || st.Shed != 0 {
+		t.Fatalf("stats = %+v, want %d queued, 0 shed", st, pushed)
+	}
+}
+
+// TestQueueWakeAllOnBurstAndClose is the regression test for the parked-
+// consumer wake protocol: a batch push landing while several consumers are
+// parked must wake all of them (Broadcast, not Signal), and Close must
+// release every parked consumer. With a Signal in either path, all but one
+// consumer would sleep forever and wg.Wait would hang.
+func TestQueueWakeAllOnBurstAndClose(t *testing.T) {
+	q := NewIngestQueue(QueueConfig{Capacity: 256, Rings: 4})
+	const consumers = 4
+	var drained atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]ipfix.Flow, 8)
+			for {
+				n := q.PopBatch(buf) // blocks parked until flows or close
+				if n == 0 {
+					return
+				}
+				drained.Add(uint64(n))
+			}
+		}()
+	}
+	// Let every consumer park on the empty queue, then land one burst.
+	time.Sleep(20 * time.Millisecond)
+	batch := make([]ipfix.Flow, 64)
+	for i := range batch {
+		batch[i] = queueFlow(i)
+		batch[i].Ingress = uint32(i) // spread the burst across all rings
+	}
+	queued := q.PushBatch(batch)
+	if queued != len(batch) {
+		t.Fatalf("burst queued %d of %d below watermark", queued, len(batch))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for drained.Load() != uint64(queued) {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d of %d: parked consumers never woke", drained.Load(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// All consumers are parked empty again; Close must release every one.
+	q.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left consumers parked")
+	}
+}
+
+// TestQueuePerRingShedIsolation: with sharded rings, one hot ingress member
+// saturating its ring must not shed other members' traffic — shedding state
+// and its hysteresis are per ring.
+func TestQueuePerRingShedIsolation(t *testing.T) {
+	// 4 rings × capacity 8, per-ring watermarks hi=6, lo=4.
+	q := NewIngestQueue(QueueConfig{Capacity: 32, HighWatermark: 24, LowWatermark: 16, Rings: 4})
+	hot := ipfix.Flow{Ingress: 1, Packets: 1}
+	rHot := q.ringFor(&hot)
+	var cold ipfix.Flow
+	for ing := uint32(2); ; ing++ {
+		cold = ipfix.Flow{Ingress: ing, Packets: 1}
+		if q.ringFor(&cold) != rHot {
+			break
+		}
+	}
+	for i := 0; i < rHot.hi; i++ {
+		if !q.Push(hot) {
+			t.Fatalf("hot push %d shed below the ring watermark", i)
+		}
+	}
+	if !rHot.shedding.Load() {
+		t.Fatal("hot ring not shedding at its high watermark")
+	}
+	if q.Push(hot) {
+		t.Fatal("hot ring accepted a flow while shedding")
+	}
+	// The isolation property: the cold ring still accepts everything.
+	if q.ringFor(&cold).shedding.Load() {
+		t.Fatal("cold ring shedding without traffic")
+	}
+	if !q.Push(cold) {
+		t.Fatal("cold flow shed while only the hot ring is saturated")
+	}
+	// Drain until the hot ring's hysteresis clears (Pop rotates rings, so
+	// bound the loop by total occupancy).
+	for i := 0; rHot.shedding.Load(); i++ {
+		if _, ok := q.Pop(); !ok || i > 64 {
+			t.Fatal("hot ring never left shedding while draining")
+		}
+	}
+	if rHot.depth() > rHot.lo {
+		t.Fatalf("shedding cleared at depth %d, above low watermark %d", rHot.depth(), rHot.lo)
+	}
+	if !q.Push(hot) {
+		t.Fatal("hot ring still shedding after draining to the low watermark")
+	}
+}
+
+// TestQueuePushBatchWaitNeverSheds: the batch backpressure path queues every
+// flow of a batch far larger than the queue, in order, with zero shed — and
+// Close releases a blocked batch producer with false.
+func TestQueuePushBatchWaitNeverSheds(t *testing.T) {
+	q := NewIngestQueue(QueueConfig{Capacity: 2, HighWatermark: 2, LowWatermark: 1})
+	batch := make([]ipfix.Flow, 12)
+	for i := range batch {
+		batch[i] = queueFlow(i)
+	}
+	done := make(chan bool, 1)
+	go func() { done <- q.PushBatchWait(batch) }()
+	for next := 0; next < len(batch); next++ {
+		f, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop refused at flow %d", next)
+		}
+		if f.SrcPort != uint16(next) {
+			t.Fatalf("flow %d out of order: got %d", next, f.SrcPort)
+		}
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("PushBatchWait reported closed on an open queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PushBatchWait still blocked after the batch drained")
+	}
+	if st := q.Stats(); st.Ingested != 12 || st.Queued != 12 || st.Shed != 0 {
+		t.Fatalf("stats = %+v, want 12 ingested, 12 queued, 0 shed", st)
+	}
+
+	// A blocked batch producer must observe Close.
+	go func() { done <- q.PushBatchWait(batch) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("PushBatchWait reported success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PushBatchWait still blocked after Close")
 	}
 }
 

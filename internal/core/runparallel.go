@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -71,9 +73,14 @@ func (rt *Runtime) RunParallel(ctx context.Context, workers int, fn func(ipfix.F
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// Profiler labels distinguish the drain workers from the feed side
+		// in CPU/goroutine profiles (`stage=merge` overrides at barriers).
+		labels := pprof.Labels("worker", strconv.Itoa(w), "stage", "drain")
 		go func() {
 			defer wg.Done()
-			rt.consumeShard(observe, &stopped)
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				rt.consumeShard(observe, &stopped)
+			})
 		}()
 	}
 	wg.Wait()
@@ -109,17 +116,21 @@ func (rt *Runtime) consumeShard(observe func(ipfix.Flow, LiveVerdict), stopped *
 	}
 	// flush merges the private shard into the canonical aggregate, then
 	// Resets it for reuse — Merge deep-adds, so nothing escapes the shard.
+	// Merges happen only at barriers (epoch swap, idle edge, exit), so the
+	// pprof relabel is off the per-flow hot path.
 	flush := func() {
 		latShard.Flush()
 		if privCount == 0 {
 			return
 		}
-		rt.mu.Lock()
-		rt.agg.Merge(priv)
-		rt.merged += privCount
-		rt.mu.Unlock()
-		priv.Reset()
-		privCount = 0
+		pprof.Do(context.Background(), pprof.Labels("stage", "merge"), func(context.Context) {
+			rt.mu.Lock()
+			rt.agg.Merge(priv)
+			rt.merged += privCount
+			rt.mu.Unlock()
+			priv.Reset()
+			privCount = 0
+		})
 	}
 	// tryCheckpoint attempts a due periodic snapshot. The fast atomic check
 	// keeps the common case (not due) off rt.mu; checkpointLocked itself

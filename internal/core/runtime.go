@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -194,12 +195,33 @@ func (rt *Runtime) IngestFunc() func(ipfix.Flow) {
 	return func(f ipfix.Flow) { rt.Ingest(f) }
 }
 
+// IngestBatch offers a decoded message's flows in one call — the zero-copy
+// hand-off from the collectors' batch callbacks (ServeBatch / ForEachBatch).
+// Flows are queued by value, so the caller may reuse the slice immediately.
+// Each flow sheds by the same per-arrival policy as Ingest, but parked
+// consumers are woken once for the whole batch instead of per record. It
+// returns how many flows were queued (the rest were shed or the runtime is
+// closed).
+func (rt *Runtime) IngestBatch(flows []ipfix.Flow) int { return rt.queue.PushBatch(flows) }
+
+// IngestBatchFunc adapts IngestBatch to the collectors' batch callback
+// signature (always continue serving) — the collector → queue handoff for
+// the batch path.
+func (rt *Runtime) IngestBatchFunc() func([]ipfix.Flow) bool {
+	return func(flows []ipfix.Flow) bool { rt.queue.PushBatch(flows); return true }
+}
+
 // IngestWait offers one flow with backpressure: a full queue blocks the
 // caller instead of shedding. This is the feed path for replayable sources
 // (file readers) where every flow must be classified; live collectors keep
 // using Ingest, whose never-block contract is what bounds their latency.
 // False reports the runtime was closed before the flow could be queued.
 func (rt *Runtime) IngestWait(f ipfix.Flow) bool { return rt.queue.PushWait(f) }
+
+// IngestBatchWait queues a whole decoded batch with IngestWait's never-shed
+// backpressure contract, waking consumers once per batch. False reports the
+// runtime closed before the whole batch could be queued.
+func (rt *Runtime) IngestBatchWait(flows []ipfix.Flow) bool { return rt.queue.PushBatchWait(flows) }
 
 // Swap promotes a freshly-built pipeline as the next epoch and clears the
 // degraded marker. The swap is atomic: flows classified before it use the
@@ -276,10 +298,26 @@ func (rt *Runtime) checkpointDueLocked() bool {
 // Run consumes flows until the context is cancelled or the runtime is
 // closed and drained. fn (optional) observes every flow and verdict;
 // returning false stops the loop. Cancelling the context closes intake.
+//
+// Without an observer, Run drains in batches — one queue claim, one epoch
+// snapshot, one classify pass, and one aggregate lock per 256 flows — which
+// is the single-core line-rate path (the per-flow Step loop pays a queue
+// claim and a lock acquisition per flow). The aggregate it produces is
+// byte-identical to the Step loop's over the same flows: batching changes
+// when work happens, never its order. With an observer, Run falls back to
+// the Step loop so fn keeps its exact per-flow semantics (a false return
+// stops before the next flow is aggregated).
 func (rt *Runtime) Run(ctx context.Context, fn func(ipfix.Flow, LiveVerdict) bool) error {
 	if ctx != nil {
 		stop := context.AfterFunc(ctx, rt.Close)
 		defer stop()
+	}
+	if fn == nil {
+		rt.runBatched()
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return nil
 	}
 	for {
 		f, v, ok := rt.Step()
@@ -298,6 +336,40 @@ func (rt *Runtime) Run(ctx context.Context, fn func(ipfix.Flow, LiveVerdict) boo
 			}
 			return nil
 		}
+	}
+}
+
+// runBatched is Run's observer-free drain: the sequential analogue of one
+// parallel worker, aggregating straight into the canonical aggregate (no
+// private shard, no merge barrier) under one lock acquisition per batch.
+func (rt *Runtime) runBatched() {
+	defer pprof.SetGoroutineLabels(context.Background())
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("worker", "0", "stage", "drain")))
+	buf := make([]ipfix.Flow, consumeBatchSize)
+	verdicts := make([]Verdict, consumeBatchSize)
+	for {
+		n := rt.queue.TryPopBatch(buf)
+		if n == 0 {
+			n = rt.queue.PopBatch(buf)
+			if n == 0 {
+				return // closed and drained
+			}
+		}
+		<-rt.firstEpoch
+		st := rt.state.Load()
+		rt.classifyBatchTimed(st.pipeline, buf[:n], verdicts[:n], rt.observeLatency)
+		if rt.degraded.Load() {
+			rt.stale.Add(uint64(n))
+		}
+		rt.mu.Lock()
+		rt.agg.AddBatch(buf[:n], verdicts[:n])
+		rt.merged += uint64(n)
+		rt.processed.Add(uint64(n))
+		if rt.checkpointDueLocked() {
+			rt.checkpointLocked()
+		}
+		rt.mu.Unlock()
 	}
 }
 
@@ -326,17 +398,18 @@ func (rt *Runtime) Checkpoint() error {
 	return rt.checkpointLocked()
 }
 
-// checkpointLocked snapshots under rt.mu. The quiescence check and the
-// counter read come from one atomic queue snapshot: a producer Push between
-// a separate Depth()==0 check and a Stats() read could advance the Ingested
-// cursor past a flow that was queued but never processed, and a resume
-// would silently skip it. The merged==Queued test extends the same
-// guarantee to the sharded consumer: a parallel worker holding a popped
-// batch in its private aggregator leaves the queue at depth zero, but the
-// canonical aggregate does not yet account those flows — writing then would
-// let the cursor outrun the state. Write failures are accounted
-// (CheckpointErrors, LastCheckpointError) so a persistent one cannot
-// silently disable crash-safety.
+// checkpointLocked snapshots under rt.mu. The quiescence test is a triple
+// check over the queue's atomic ledger (see snapshotLocked): the counters
+// are no longer read under one queue lock, so an in-flight push is instead
+// detected by Ingested != Queued+Shed — a producer claims its arrival index
+// before its queued/shed increment lands, making every mid-flight arrival
+// visible — while depth != 0 catches published-but-unconsumed flows and
+// merged != Queued catches flows a parallel worker popped into a private
+// aggregator but has not merged (rt.mu is held here, so no merge can land
+// mid-check). Writing while any of the three fails would let the replay
+// cursor outrun the aggregate and a resume would silently skip flows.
+// Write failures are accounted (CheckpointErrors, LastCheckpointError) so a
+// persistent one cannot silently disable crash-safety.
 func (rt *Runtime) checkpointLocked() error {
 	cp, err := rt.snapshotLocked()
 	if err != nil {
@@ -361,7 +434,16 @@ func (rt *Runtime) checkpointLocked() error {
 // with ErrNotQuiescent. The returned checkpoint aliases the live aggregate;
 // it is only safe to read while rt.mu is held (or while no consumer runs).
 func (rt *Runtime) snapshotLocked() (*Checkpoint, error) {
+	// Stats reads the ledger counters before the depth, which is the order
+	// the triple check needs: a push whose queued/shed increment landed
+	// after the counter reads published its flow before the depth read, so
+	// it either trips Ingested != Queued+Shed, shows up in Depth, or — when
+	// its arrival index is past the Ingested read — lands wholly after the
+	// cursor, where a resume re-feeds it.
 	qs := rt.queue.Stats()
+	if qs.Ingested != qs.Queued+qs.Shed {
+		return nil, fmt.Errorf("%w (%d arrivals in flight)", ErrNotQuiescent, qs.Ingested-qs.Queued-qs.Shed)
+	}
 	if qs.Depth != 0 {
 		return nil, fmt.Errorf("%w (%d flows pending)", ErrNotQuiescent, qs.Depth)
 	}

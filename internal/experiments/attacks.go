@@ -44,7 +44,7 @@ func Figure11aWithMin(env *Env, minPackets uint64) *Figure11aResult {
 			if ds.Packets <= r.MinPackets {
 				continue
 			}
-			srcs := float64(len(ds.Srcs)) + float64(ds.SrcOverflow)
+			srcs := float64(ds.SrcCount()) + float64(ds.SrcOverflow)
 			d.AddN(srcs / float64(ds.Packets))
 			r.Dsts[c]++
 		}

@@ -30,9 +30,9 @@ func Figure8a(env *Env) *Figure8aResult {
 	}
 	for _, c := range analysisClasses {
 		d := &stats.Distribution{}
-		for size, pkts := range env.Agg.SizeHist[c] {
+		env.Agg.SizeHist.RangeClass(c, func(size int, pkts uint64) {
 			d.Add(float64(size), float64(pkts))
-		}
+		})
 		r.Dist[c] = d
 		r.SmallFrac[c] = d.CDF(60)
 	}
@@ -133,18 +133,15 @@ func Figure9(env *Env) *Figure9Result {
 	// Totals per (class, proto, dir).
 	totals := make(map[[3]int]uint64)
 	named := make(map[[4]int]uint64)
-	for k, pkts := range env.Agg.Ports {
+	env.Agg.Ports.Range(func(k core.PortKey, pkts uint64) {
 		key := [3]int{int(k.Class), int(k.Proto), int(k.Dir)}
 		totals[key] += pkts
-		isNamed := false
 		for _, p := range figure9Ports {
 			if k.Port == p {
 				named[[4]int{int(k.Class), int(k.Proto), int(k.Dir), int(k.Port)}] += pkts
-				isNamed = true
 			}
 		}
-		_ = isNamed
-	}
+	})
 	for k, pkts := range named {
 		tot := totals[[3]int{k[0], k[1], k[2]}]
 		if tot == 0 {

@@ -34,10 +34,10 @@ func TestServeStreamSkipsMalformedFramedMessages(t *testing.T) {
 	}
 
 	var got []Flow
-	n, malformed, err := serveStream(&stream, NewDecoder(), 0, func(f Flow) bool {
+	n, malformed, err := serveStream(&stream, NewDecoder(), 0, perFlowDeliver(func(f Flow) bool {
 		got = append(got, f)
 		return true
-	})
+	}))
 	if err != nil {
 		t.Fatalf("serveStream: %v", err)
 	}
@@ -54,7 +54,7 @@ func TestServeStreamFramingLossIsFatal(t *testing.T) {
 	b := make([]byte, msgHeaderLen)
 	binary.BigEndian.PutUint16(b[0:], version)
 	binary.BigEndian.PutUint16(b[2:], 3)
-	_, _, err := serveStream(bytes.NewReader(b), NewDecoder(), 0, func(Flow) bool { return true })
+	_, _, err := serveStream(bytes.NewReader(b), NewDecoder(), 0, perFlowDeliver(func(Flow) bool { return true }))
 	if err == nil {
 		t.Fatal("framing loss not reported")
 	}

@@ -49,11 +49,13 @@ type FileReader struct {
 	r   *bufio.Reader
 	dec *Decoder
 	buf []Flow
+	msg []byte // grow-only message scratch: zero allocations per message in steady state
 }
 
 // NewFileReader returns a reader over r.
 func NewFileReader(r io.Reader) *FileReader {
-	return &FileReader{r: bufio.NewReaderSize(r, 1<<16), dec: NewDecoder()}
+	return &FileReader{r: bufio.NewReaderSize(r, 1<<16), dec: NewDecoder(),
+		msg: make([]byte, 4096)}
 }
 
 // NextBatch returns the flows of the next message containing data records.
@@ -61,8 +63,11 @@ func NewFileReader(r io.Reader) *FileReader {
 // calls; copy it to retain.
 func (fr *FileReader) NextBatch() ([]Flow, error) {
 	for {
-		var hdr [msgHeaderLen]byte
-		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		// The header reads into the scratch buffer's prefix (a stack array
+		// would escape through io.ReadFull and cost one heap allocation per
+		// message); the body then lands right behind it.
+		hdr := fr.msg[:msgHeaderLen]
+		if _, err := io.ReadFull(fr.r, hdr); err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil, fmt.Errorf("ipfix: truncated message: %w", err)
 			}
@@ -72,14 +77,17 @@ func (fr *FileReader) NextBatch() ([]Flow, error) {
 		if total < msgHeaderLen {
 			return nil, fmt.Errorf("ipfix: bad message length %d", total)
 		}
-		msg := make([]byte, total)
-		copy(msg, hdr[:])
+		if cap(fr.msg) < total {
+			grown := make([]byte, total)
+			copy(grown, hdr)
+			fr.msg = grown
+		}
+		msg := fr.msg[:total]
 		if _, err := io.ReadFull(fr.r, msg[msgHeaderLen:]); err != nil {
 			return nil, fmt.Errorf("ipfix: truncated message body: %w", err)
 		}
-		fr.buf = fr.buf[:0]
 		var err error
-		fr.buf, err = fr.dec.Decode(msg, fr.buf)
+		fr.buf, err = fr.dec.AppendFlows(msg, fr.buf[:0])
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +97,11 @@ func (fr *FileReader) NextBatch() ([]Flow, error) {
 		// Template-only message: keep reading.
 	}
 }
+
+// Reset repoints the reader at a new stream while keeping the decoder's
+// template state and every grow-only decode scratch buffer, so replaying
+// many streams through one reader allocates nothing after the first.
+func (fr *FileReader) Reset(r io.Reader) { fr.r.Reset(r) }
 
 // ForEach streams every flow in the file through fn. It stops early if fn
 // returns false.
@@ -105,6 +118,26 @@ func (fr *FileReader) ForEach(fn func(Flow) bool) error {
 			if !fn(f) {
 				return nil
 			}
+		}
+	}
+}
+
+// ForEachBatch streams the file one decoded message at a time: fn receives
+// each message's flows as a single batch — the zero-copy hand-off a runtime's
+// IngestBatch wants. The slice is the reader's reused scratch, valid only for
+// the duration of the call; copy or queue by value to retain. It stops early
+// if fn returns false.
+func (fr *FileReader) ForEachBatch(fn func([]Flow) bool) error {
+	for {
+		batch, err := fr.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(batch) {
+			return nil
 		}
 	}
 }

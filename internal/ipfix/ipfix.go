@@ -286,6 +286,17 @@ func (d *Decoder) Decode(msg []byte, dst []Flow) ([]Flow, error) {
 	return dst, nil
 }
 
+// AppendFlows is the batch-decode entry point the ingest path builds on: it
+// parses one IPFIX message and appends every decoded flow to dst, returning
+// the extended slice. It is Decode under the name the collectors use — once
+// dst has grown to the feed's steady-state message size a call allocates
+// nothing: template state lives in the decoder and records land directly in
+// the caller-owned batch, which can be handed to the classifier (or an
+// IngestQueue's PushBatch) without a per-flow copy.
+func (d *Decoder) AppendFlows(msg []byte, dst []Flow) ([]Flow, error) {
+	return d.Decode(msg, dst)
+}
+
 func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
 	for len(b) >= 4 {
 		id := binary.BigEndian.Uint16(b)
@@ -293,6 +304,27 @@ func (d *Decoder) parseTemplates(domain uint32, b []byte) error {
 		b = b[4:]
 		if len(b) < 4*count {
 			return errors.New("ipfix: truncated template record")
+		}
+		// RFC 7011 exporters re-announce templates periodically; a refresh
+		// identical to the registered template (the overwhelmingly common
+		// case) must not rebuild it — long-running streams would otherwise
+		// allocate on every refresh interval.
+		if old, ok := d.templates[tkey(domain, id)]; ok && len(old.fields) == count {
+			same := true
+			for i := 0; i < count; i++ {
+				f := templateField{
+					id:     binary.BigEndian.Uint16(b[4*i:]),
+					length: binary.BigEndian.Uint16(b[4*i+2:]),
+				}
+				if old.fields[i] != f {
+					same = false
+					break
+				}
+			}
+			if same {
+				b = b[4*count:]
+				continue
+			}
 		}
 		t := &template{}
 		for i := 0; i < count; i++ {

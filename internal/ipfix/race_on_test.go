@@ -1,0 +1,7 @@
+//go:build race
+
+package ipfix
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so zero-alloc tests only assert without it.
+const raceEnabled = true

@@ -2,10 +2,12 @@ package ipfix
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -122,6 +124,19 @@ func (c *TCPCollector) Stats() CollectorStats {
 // number of flows delivered. Malformed-but-framed messages are skipped and
 // counted, matching the UDP collector's semantics.
 func (c *TCPCollector) AcceptOne(fn func(Flow) bool) (int, error) {
+	return c.acceptOne(perFlowDeliver(fn))
+}
+
+// AcceptOneBatch is AcceptOne's batch-delivery form: fn receives every
+// decoded message's flows as one slice instead of a call per record. The
+// slice is the connection's reused scratch — valid only for the duration of
+// the call; copy (or queue by value, as IngestQueue does) to retain. fn
+// returning false closes the connection after counting that whole batch.
+func (c *TCPCollector) AcceptOneBatch(fn func([]Flow) bool) (int, error) {
+	return c.acceptOne(batchDeliver(fn))
+}
+
+func (c *TCPCollector) acceptOne(deliver func([]Flow) (int, bool)) (int, error) {
 	conn, err := c.ln.Accept()
 	if err != nil {
 		return 0, err
@@ -131,7 +146,7 @@ func (c *TCPCollector) AcceptOne(fn func(Flow) bool) (int, error) {
 	c.stats.Connections++
 	c.mu.Unlock()
 	dec := NewDecoder()
-	n, malformed, err := serveStream(conn, dec, c.IdleTimeout, fn)
+	n, malformed, err := serveStream(conn, dec, c.IdleTimeout, deliver)
 	c.finishStream(conn, dec, n, malformed, err)
 	return n, err
 }
@@ -165,6 +180,34 @@ func (c *TCPCollector) finishStream(conn net.Conn, dec *Decoder, n, malformed in
 // counter — the collector keeps serving the rest. Serve returns nil after a
 // shutdown, once every in-flight connection handler has drained.
 func (c *TCPCollector) Serve(fn func(Flow) bool) error {
+	deliver := perFlowDeliver(fn)
+	return c.serveLoop(func(batch []Flow) (int, bool) {
+		c.fnMu.Lock()
+		defer c.fnMu.Unlock()
+		return deliver(batch)
+	})
+}
+
+// ServeBatch is Serve's batch-delivery form: fn receives every decoded
+// message's flows as one slice — the hand-off a LiveRuntime's IngestBatch
+// wants, one queue wake per IPFIX message instead of per record. Batches
+// from concurrent connections are delivered serially (no locking needed in
+// fn), but the slice is that connection's reused scratch — valid only for
+// the duration of the call; copy or queue by value to retain. fn returning
+// false closes that one connection.
+func (c *TCPCollector) ServeBatch(fn func([]Flow) bool) error {
+	deliver := batchDeliver(fn)
+	return c.serveLoop(func(batch []Flow) (int, bool) {
+		c.fnMu.Lock()
+		defer c.fnMu.Unlock()
+		return deliver(batch)
+	})
+}
+
+// serveLoop is the accept loop Serve and ServeBatch share: one goroutine per
+// connection (labelled stage=decode for profilers), outcomes folded into the
+// collector's stats as each stream ends.
+func (c *TCPCollector) serveLoop(deliver func([]Flow) (int, bool)) error {
 	defer c.wg.Wait()
 	for {
 		conn, err := c.ln.Accept()
@@ -185,13 +228,11 @@ func (c *TCPCollector) Serve(fn func(Flow) bool) error {
 		go func(conn net.Conn) {
 			defer c.wg.Done()
 			defer conn.Close()
-			dec := NewDecoder()
-			n, malformed, err := serveStream(conn, dec, c.IdleTimeout, func(f Flow) bool {
-				c.fnMu.Lock()
-				defer c.fnMu.Unlock()
-				return fn(f)
+			pprof.Do(context.Background(), pprof.Labels("stage", "decode"), func(context.Context) {
+				dec := NewDecoder()
+				n, malformed, err := serveStream(conn, dec, c.IdleTimeout, deliver)
+				c.finishStream(conn, dec, n, malformed, err)
 			})
-			c.finishStream(conn, dec, n, malformed, err)
 		}(conn)
 	}
 }
@@ -231,25 +272,68 @@ type readDeadliner interface {
 	SetReadDeadline(t time.Time) error
 }
 
+// perFlowDeliver adapts a per-flow callback to serveStream's batch contract,
+// reporting how many flows were consumed so a mid-batch stop keeps the exact
+// per-flow delivery count.
+func perFlowDeliver(fn func(Flow) bool) func([]Flow) (int, bool) {
+	return func(batch []Flow) (int, bool) {
+		for i := range batch {
+			if !fn(batch[i]) {
+				return i + 1, false
+			}
+		}
+		return len(batch), true
+	}
+}
+
+// batchDeliver adapts a whole-batch callback: the batch counts in full even
+// when fn stops the stream, since fn saw every flow in it.
+func batchDeliver(fn func([]Flow) bool) func([]Flow) (int, bool) {
+	return func(batch []Flow) (int, bool) {
+		return len(batch), fn(batch)
+	}
+}
+
+// streamScratch is one connection's reusable decode buffers: the framed
+// message bytes and the flow batch the decoder appends into. Pooled across
+// connections so a collector serving short-lived exporter sessions reaches
+// steady state with zero per-message allocations — the buffers grow to the
+// feed's message size once and then recirculate.
+type streamScratch struct {
+	msg   []byte
+	flows []Flow
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &streamScratch{msg: make([]byte, 1<<16), flows: make([]Flow, 0, 256)}
+}}
+
 // serveStream decodes back-to-back IPFIX messages from a byte stream into
-// dec (one decoder per connection: templates are per-stream state). A
-// message that frames correctly but fails to decode is skipped and counted
-// in malformed — one bad export must not tear down the feed. Only a framing
-// failure (garbage length, short read, deadline) ends the stream with an
-// error, because message boundaries are lost at that point. The caller owns
-// dec and harvests its counters after the stream ends.
-func serveStream(r io.Reader, dec *Decoder, idle time.Duration, fn func(Flow) bool) (n, malformed int, err error) {
+// dec (one decoder per connection: templates are per-stream state), handing
+// each message's flows to deliver as one batch. The batch slice is pooled
+// scratch reused for the next message — deliver must consume or copy it
+// before returning. A message that frames correctly but fails to decode is
+// skipped and counted in malformed — one bad export must not tear down the
+// feed. Only a framing failure (garbage length, short read, deadline) ends
+// the stream with an error, because message boundaries are lost at that
+// point. The caller owns dec and harvests its counters after the stream
+// ends.
+func serveStream(r io.Reader, dec *Decoder, idle time.Duration, deliver func([]Flow) (int, bool)) (n, malformed int, err error) {
 	rd, hasDeadline := r.(readDeadliner)
 	br := bufio.NewReaderSize(r, 1<<16)
-	var flows []Flow
+	sc := scratchPool.Get().(*streamScratch)
+	defer scratchPool.Put(sc)
 	for {
 		if hasDeadline && idle > 0 {
 			if err := rd.SetReadDeadline(time.Now().Add(idle)); err != nil {
 				return n, malformed, err
 			}
 		}
-		var hdr [msgHeaderLen]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		// The header reads into the scratch buffer's prefix (a stack array
+		// would escape through io.ReadFull and cost one heap allocation per
+		// message); the body then lands right behind it.
+		hdr := sc.msg[:msgHeaderLen]
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF {
 				return n, malformed, nil
 			}
@@ -259,25 +343,30 @@ func serveStream(r io.Reader, dec *Decoder, idle time.Duration, fn func(Flow) bo
 		if total < msgHeaderLen {
 			return n, malformed, fmt.Errorf("ipfix: bad stream message length %d", total)
 		}
-		msg := make([]byte, total)
-		copy(msg, hdr[:])
+		if cap(sc.msg) < total {
+			grown := make([]byte, total)
+			copy(grown, hdr)
+			sc.msg = grown
+		}
+		msg := sc.msg[:total]
 		if _, err := io.ReadFull(br, msg[msgHeaderLen:]); err != nil {
 			return n, malformed, err
 		}
-		flows = flows[:0]
 		var derr error
-		flows, derr = dec.Decode(msg, flows)
+		sc.flows, derr = dec.AppendFlows(msg, sc.flows[:0])
 		if derr != nil {
 			// The length field framed the message, so the stream is still
 			// in sync: skip it and keep serving.
 			malformed++
 			continue
 		}
-		for _, f := range flows {
-			n++
-			if !fn(f) {
-				return n, malformed, nil
-			}
+		if len(sc.flows) == 0 {
+			continue // template-only message
+		}
+		consumed, ok := deliver(sc.flows)
+		n += consumed
+		if !ok {
+			return n, malformed, nil
 		}
 	}
 }

@@ -96,6 +96,25 @@ func (c *UDPCollector) Addr() net.Addr { return c.conn.LocalAddr() }
 // invoking fn for every decoded flow. Malformed datagrams are counted and
 // skipped. It returns the number of malformed datagrams.
 func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, err error) {
+	return c.serveDatagrams(deadline, func(batch []Flow) bool {
+		for i := range batch {
+			fn(batch[i])
+		}
+		return true
+	})
+}
+
+// ServeBatch is Serve's batch-delivery form: fn receives each datagram's
+// decoded flows as one slice — one runtime queue wake per IPFIX message
+// instead of per record. The slice is the collector's reused scratch, valid
+// only for the duration of the call; copy or queue by value to retain. fn
+// returning false stops serving (nil error), the batch-path counterpart of
+// closing the socket.
+func (c *UDPCollector) ServeBatch(deadline time.Time, fn func([]Flow) bool) (malformed int, err error) {
+	return c.serveDatagrams(deadline, fn)
+}
+
+func (c *UDPCollector) serveDatagrams(deadline time.Time, deliver func([]Flow) bool) (malformed int, err error) {
 	if !deadline.IsZero() {
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return 0, err
@@ -118,7 +137,7 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 			}
 			return malformed, err
 		}
-		batch, derr := c.dec.Decode(buf[:n], flows[:0])
+		batch, derr := c.dec.AppendFlows(buf[:n], flows[:0])
 		if derr != nil {
 			malformed++
 			c.mu.Lock()
@@ -132,8 +151,8 @@ func (c *UDPCollector) Serve(deadline time.Time, fn func(Flow)) (malformed int, 
 		c.stats.Flows += len(batch)
 		c.syncDecoderLocked()
 		c.mu.Unlock()
-		for _, f := range batch {
-			fn(f)
+		if len(batch) > 0 && !deliver(batch) {
+			return malformed, nil
 		}
 	}
 }

@@ -270,6 +270,25 @@ func (f *FlatLPM) find(a Addr) int32 {
 	return f.cutEntry[lo-1]
 }
 
+// TouchSpan primes the cache for a subsequent find(a): it reads a's root16
+// chunk bounds and the middle of the chunk's cut span — the first probe the
+// binary search will issue. Callers running batched lookups call it one
+// address ahead so the span's miss latency overlaps the current lookup; the
+// returned value must be folded into a sink the compiler cannot discard.
+// A no-op (returns 0) on tables too small to carry the chunk index — their
+// whole cut array is cache-resident anyway.
+func (f *FlatLPM) TouchSpan(a Addr) uint32 {
+	if f.root16 == nil {
+		return 0
+	}
+	k := uint32(a) >> 16
+	lo, hi := f.root16[k], f.root16[k+1]
+	if lo >= hi {
+		return lo
+	}
+	return f.starts[lo+(hi-lo)>>1]
+}
+
 // Lookup returns the value of the longest stored prefix covering a.
 func (f *FlatLPM) Lookup(a Addr) (value uint32, ok bool) {
 	e := f.find(a)

@@ -113,6 +113,18 @@ func (lr *LiveRuntime) Ingest(f Flow) bool { return lr.rt.Ingest(f) }
 // IngestFunc adapts Ingest to the collector callback signature.
 func (lr *LiveRuntime) IngestFunc() func(Flow) { return lr.rt.IngestFunc() }
 
+// IngestBatch offers a decoded message's flows in one call — the zero-copy
+// hand-off from the collectors' batch callbacks (ServeBatch, ForEachBatch).
+// Flows are queued by value so the caller may reuse the slice immediately;
+// parked consumers are woken once per batch instead of per record. It
+// returns how many flows were queued (the rest were shed or the runtime is
+// closed).
+func (lr *LiveRuntime) IngestBatch(flows []Flow) int { return lr.rt.IngestBatch(flows) }
+
+// IngestBatchFunc adapts IngestBatch to the collectors' batch callback
+// signature: `col.ServeBatch(lr.IngestBatchFunc())`.
+func (lr *LiveRuntime) IngestBatchFunc() func([]Flow) bool { return lr.rt.IngestBatchFunc() }
+
 // IngestWait offers one flow with backpressure: a full queue blocks the
 // caller instead of shedding. Use it for replayable sources (file readers)
 // where every flow must be classified; live collectors keep using Ingest,

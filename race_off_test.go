@@ -1,0 +1,7 @@
+//go:build !race
+
+package spoofscope
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip under -race because its instrumentation allocates.
+const raceEnabled = false

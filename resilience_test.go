@@ -413,6 +413,26 @@ func TestResilientClusterMatchesSingleProcess(t *testing.T) {
 	for _, f := range flows[:half] {
 		coord.Ingest(f)
 	}
+	// A graceful move parks the shard until the old owner's drain report
+	// lands, so B acquires its shards asynchronously after joining. Wait
+	// for B to own at least one before the kill, or there is no failover
+	// to exercise.
+	ownDeadline := time.Now().Add(10 * time.Second)
+	for {
+		owned := 0
+		for _, w := range coord.FleetStatus().Workers {
+			if w.Name == "wb" {
+				owned = w.Shards
+			}
+		}
+		if owned > 0 {
+			break
+		}
+		if time.Now().After(ownDeadline) {
+			t.Fatalf("worker B never acquired a shard: %+v", coord.FleetStatus())
+		}
+		time.Sleep(time.Millisecond)
+	}
 	// Kill worker B outright mid-run: its runtimes die with it, and the
 	// coordinator must resume its shards on worker A from the last
 	// durable report plus the replay buffer.
